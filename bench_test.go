@@ -1,0 +1,169 @@
+// Package cocosketch's root benchmark harness: one testing.B benchmark
+// per table/figure of the paper (each runs the corresponding
+// experiment from internal/experiments at reduced scale and reports
+// its table through b.Log), plus per-algorithm insert micro-benchmarks
+// and the ablation benches called out in DESIGN.md §7.
+//
+// Regenerate everything with:
+//
+//	go test -bench=. -benchmem
+//
+// Full-scale tables come from cmd/cocobench (-run all).
+package cocosketch
+
+import (
+	"fmt"
+	"testing"
+
+	"cocosketch/internal/baselines/uss"
+	"cocosketch/internal/core"
+	"cocosketch/internal/experiments"
+	"cocosketch/internal/flowkey"
+	"cocosketch/internal/trace"
+)
+
+// benchCfg is the reduced scale used by the figure benchmarks.
+func benchCfg() experiments.RunConfig {
+	return experiments.RunConfig{Packets: 300_000, Seed: 1, Quick: true}
+}
+
+// benchExperiment runs one registered experiment per iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	runner, ok := experiments.Lookup(id)
+	if !ok {
+		b.Fatalf("experiment %q not registered", id)
+	}
+	var last string
+	for i := 0; i < b.N; i++ {
+		res, err := runner(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res.String()
+	}
+	b.Log("\n" + last)
+}
+
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, "table2") }
+func BenchmarkFig8(b *testing.B)   { benchExperiment(b, "fig8") }
+func BenchmarkFig9(b *testing.B)   { benchExperiment(b, "fig9") }
+func BenchmarkFig10(b *testing.B)  { benchExperiment(b, "fig10") }
+func BenchmarkFig11(b *testing.B)  { benchExperiment(b, "fig11") }
+func BenchmarkFig12(b *testing.B)  { benchExperiment(b, "fig12") }
+func BenchmarkFig13(b *testing.B)  { benchExperiment(b, "fig13") }
+func BenchmarkFig14(b *testing.B)  { benchExperiment(b, "fig14") }
+func BenchmarkFig15a(b *testing.B) { benchExperiment(b, "fig15a") }
+func BenchmarkFig15b(b *testing.B) { benchExperiment(b, "fig15b") }
+func BenchmarkFig15c(b *testing.B) { benchExperiment(b, "fig15c") }
+func BenchmarkFig15d(b *testing.B) { benchExperiment(b, "fig15d") }
+func BenchmarkFig16(b *testing.B)  { benchExperiment(b, "fig16") }
+func BenchmarkFig17(b *testing.B)  { benchExperiment(b, "fig17") }
+func BenchmarkFig18a(b *testing.B) { benchExperiment(b, "fig18a") }
+func BenchmarkFig18b(b *testing.B) { benchExperiment(b, "fig18b") }
+
+// Extension experiments (entropy, distinct counting): see
+// internal/experiments/extensions.go.
+func BenchmarkExtEntropy(b *testing.B)  { benchExperiment(b, "ext-entropy") }
+func BenchmarkExtDistinct(b *testing.B) { benchExperiment(b, "ext-distinct") }
+
+// BenchmarkInsert measures raw single-thread update cost of every
+// system measuring six keys in 500 KB — the microscopic view behind
+// Figure 14(a).
+func BenchmarkInsert(b *testing.B) {
+	tr := trace.CAIDALike(1<<17, 3)
+	masks := flowkey.EvaluationMasks()
+	for _, sys := range experiments.HeavyHitterSystems() {
+		b.Run(sys.Name, func(b *testing.B) {
+			inst := sys.New(masks, 500*1024, 7)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				inst.Insert(tr.Packets[i&(len(tr.Packets)-1)].Key, 1)
+			}
+		})
+	}
+}
+
+// BenchmarkUSSNaiveVsAccelerated quantifies the §7.2 claim that even
+// an accelerated USS pays for its auxiliary structures, while the
+// naive version is orders of magnitude slower.
+func BenchmarkUSSNaiveVsAccelerated(b *testing.B) {
+	tr := trace.CAIDALike(1<<17, 3)
+	b.Run("naive", func(b *testing.B) {
+		s := uss.NewNaiveForMemory[flowkey.FiveTuple](500*1024, 1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Insert(tr.Packets[i&(len(tr.Packets)-1)].Key, 1)
+		}
+	})
+	b.Run("accelerated", func(b *testing.B) {
+		s := uss.NewAcceleratedForMemory[flowkey.FiveTuple](500*1024, 1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Insert(tr.Packets[i&(len(tr.Packets)-1)].Key, 1)
+		}
+	})
+}
+
+// BenchmarkAblationCombine compares the hardware decoder's median
+// combiner against the mean ablation (DESIGN.md §7).
+func BenchmarkAblationCombine(b *testing.B) {
+	tr := trace.CAIDALike(1<<17, 3)
+	s := core.NewHardwareForMemory[flowkey.FiveTuple](3, 500*1024, 1)
+	for i := range tr.Packets {
+		s.Insert(tr.Packets[i].Key, 1)
+	}
+	keys := make([]flowkey.FiveTuple, 0, 1024)
+	for k := range s.Decode() {
+		keys = append(keys, k)
+		if len(keys) == 1024 {
+			break
+		}
+	}
+	b.Run("median", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = s.Query(keys[i%len(keys)])
+		}
+	})
+	b.Run("mean", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = s.QueryMean(keys[i%len(keys)])
+		}
+	})
+}
+
+// BenchmarkAblationD sweeps d for the basic variant (the fig16
+// ablation as a micro-benchmark).
+func BenchmarkAblationD(b *testing.B) {
+	tr := trace.CAIDALike(1<<17, 3)
+	for _, d := range []int{1, 2, 3, 4, 6} {
+		b.Run(fmt.Sprintf("d=%d", d), func(b *testing.B) {
+			s := core.NewBasicForMemory[flowkey.FiveTuple](d, 500*1024, 1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Insert(tr.Packets[i&(len(tr.Packets)-1)].Key, 1)
+			}
+		})
+	}
+}
+
+// BenchmarkDecode measures control-plane decode cost (Step 3).
+func BenchmarkDecode(b *testing.B) {
+	tr := trace.CAIDALike(1<<18, 3)
+	basic := core.NewBasicForMemory[flowkey.FiveTuple](2, 500*1024, 1)
+	hw := core.NewHardwareForMemory[flowkey.FiveTuple](2, 500*1024, 1)
+	for i := range tr.Packets {
+		basic.Insert(tr.Packets[i].Key, 1)
+		hw.Insert(tr.Packets[i].Key, 1)
+	}
+	b.Run("basic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = basic.Decode()
+		}
+	})
+	b.Run("hardware", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = hw.Decode()
+		}
+	})
+}

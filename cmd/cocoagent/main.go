@@ -1,0 +1,75 @@
+// Command cocoagent runs one network-wide measurement vantage point:
+// it measures traffic (a pcap file or a synthetic trace) into a
+// CocoSketch and reports the sketch to a cococollector at the end of
+// each epoch.
+//
+// All agents and the collector must agree on -mem, -d and -seed.
+//
+// Usage:
+//
+//	cocoagent -id 1 -collector 127.0.0.1:7700 -pcap site1.pcap
+//	cocoagent -id 2 -collector 127.0.0.1:7700 -packets 500000 -epochs 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"cocosketch/internal/core"
+	"cocosketch/internal/flowkey"
+	"cocosketch/internal/netwide"
+	"cocosketch/internal/trace"
+)
+
+func main() {
+	var (
+		id        = flag.Uint("id", 0, "agent id (unique per vantage point)")
+		collector = flag.String("collector", "127.0.0.1:7700", "collector address")
+		pcapPath  = flag.String("pcap", "", "pcap file to measure (default: synthetic)")
+		packets   = flag.Int("packets", 500_000, "synthetic packets per epoch when -pcap is unset")
+		epochs    = flag.Int("epochs", 1, "number of epochs to report")
+		memKB     = flag.Int("mem", 500, "shared sketch memory in KB")
+		d         = flag.Int("d", core.DefaultArrays, "shared number of arrays")
+		seed      = flag.Uint64("seed", 1, "shared sketch seed")
+	)
+	flag.Parse()
+
+	cfg := core.ConfigForMemory[flowkey.FiveTuple](*d, *memKB*1024, *seed)
+	agent := netwide.NewAgent(uint16(*id), cfg)
+
+	conn, err := net.Dial("tcp", *collector)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cocoagent: %v\n", err)
+		os.Exit(1)
+	}
+	defer conn.Close()
+
+	for e := 0; e < *epochs; e++ {
+		var tr *trace.Trace
+		if *pcapPath != "" {
+			f, err := os.Open(*pcapPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "cocoagent: %v\n", err)
+				os.Exit(1)
+			}
+			tr, err = trace.FromPCAP(f)
+			f.Close()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "cocoagent: %v\n", err)
+				os.Exit(1)
+			}
+		} else {
+			tr = trace.CAIDALike(*packets, *seed+uint64(*id)*1000+uint64(e))
+		}
+		for i := range tr.Packets {
+			agent.Observe(tr.Packets[i].Key, 1)
+		}
+		if err := agent.Report(conn); err != nil {
+			fmt.Fprintf(os.Stderr, "cocoagent: report: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("agent %d: epoch %d reported (%d packets)\n", *id, e, len(tr.Packets))
+	}
+}

@@ -1,0 +1,91 @@
+// Command cocobench regenerates the tables and figures of the
+// CocoSketch paper's evaluation (§7). Each experiment id names one
+// artifact (table2, fig8 … fig18b, ext-*); see DESIGN.md for the index.
+//
+// Usage:
+//
+//	cocobench -list
+//	cocobench -run fig8,fig9 [-packets 2000000] [-seed 1] [-quick] [-bytes] [-format csv]
+//	cocobench -run all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"cocosketch/internal/experiments"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cocobench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		runIDs  = fs.String("run", "", "comma-separated experiment ids, or 'all'")
+		list    = fs.Bool("list", false, "list experiment ids and exit")
+		packets = fs.Int("packets", 2_000_000, "packets per measurement window")
+		seed    = fs.Uint64("seed", 1, "random seed for traces and sketches")
+		quick   = fs.Bool("quick", false, "reduced sweeps and trace size")
+		bytes   = fs.Bool("bytes", false, "measure byte counts instead of packet counts (fig8/fig9)")
+		format  = fs.String("format", "text", "output format: text or csv")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *format != "text" && *format != "csv" {
+		fmt.Fprintf(stderr, "cocobench: unknown format %q\n", *format)
+		return 2
+	}
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Fprintln(stdout, id)
+		}
+		return 0
+	}
+	if *runIDs == "" {
+		fmt.Fprintln(stderr, "cocobench: use -run <ids> or -list (e.g. -run fig8)")
+		return 2
+	}
+
+	ids := experiments.IDs()
+	if *runIDs != "all" {
+		ids = strings.Split(*runIDs, ",")
+	}
+	cfg := experiments.RunConfig{Packets: *packets, Seed: *seed, Quick: *quick, Bytes: *bytes}
+
+	failed := false
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		runner, ok := experiments.Lookup(id)
+		if !ok {
+			fmt.Fprintf(stderr, "cocobench: unknown experiment %q (use -list)\n", id)
+			failed = true
+			continue
+		}
+		start := time.Now()
+		res, err := runner(cfg)
+		if err != nil {
+			fmt.Fprintf(stderr, "cocobench: %s failed: %v\n", id, err)
+			failed = true
+			continue
+		}
+		if *format == "csv" {
+			fmt.Fprint(stdout, res.CSV())
+		} else {
+			fmt.Fprintln(stdout, res.String())
+			fmt.Fprintf(stdout, "(%s completed in %.1fs)\n\n", id, time.Since(start).Seconds())
+		}
+	}
+	if failed {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errw); code != 0 {
+		t.Fatalf("exit %d: %s", code, errw.String())
+	}
+	for _, id := range []string{"fig8", "table2", "ext-entropy"} {
+		if !strings.Contains(out.String(), id) {
+			t.Errorf("list output missing %s", id)
+		}
+	}
+}
+
+func TestRunOneExperiment(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-run", "fig15b"}, &out, &errw); code != 0 {
+		t.Fatalf("exit %d: %s", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "fig15b") || !strings.Contains(out.String(), "Mpps(hardware)") {
+		t.Fatalf("output missing table:\n%s", out.String())
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-run", "table2", "-format", "csv"}, &out, &errw); code != 0 {
+		t.Fatalf("exit %d: %s", code, errw.String())
+	}
+	first := strings.SplitN(out.String(), "\n", 2)[0]
+	if first != "resource,Count-Min,R-HHH" {
+		t.Fatalf("csv header = %q", first)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{}, &out, &errw); code != 2 {
+		t.Fatalf("missing -run: exit %d", code)
+	}
+	if code := run([]string{"-run", "nope"}, &out, &errw); code != 1 {
+		t.Fatalf("unknown id: exit %d", code)
+	}
+	if code := run([]string{"-run", "table2", "-format", "xml"}, &out, &errw); code != 2 {
+		t.Fatalf("bad format: exit %d", code)
+	}
+	if code := run([]string{"-bogus"}, &out, &errw); code != 2 {
+		t.Fatalf("bad flag: exit %d", code)
+	}
+}

@@ -1,0 +1,81 @@
+// Command cococollector runs the network-wide measurement collector:
+// it listens for CocoSketch reports from cocoagent processes, merges
+// each epoch's shards, and periodically prints network-wide top flows
+// for the requested partial keys.
+//
+// All agents and the collector must agree on -mem, -d and -seed (the
+// shared sketch configuration that makes shards mergeable).
+//
+// Usage:
+//
+//	cococollector -listen 127.0.0.1:7700 -keys SrcIP,DstIP+DstPort
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"time"
+
+	"cocosketch/internal/core"
+	"cocosketch/internal/flowkey"
+	"cocosketch/internal/netwide"
+	"cocosketch/internal/query"
+)
+
+func main() {
+	var (
+		listen  = flag.String("listen", "127.0.0.1:7700", "address to listen on")
+		memKB   = flag.Int("mem", 500, "shared sketch memory in KB")
+		d       = flag.Int("d", core.DefaultArrays, "shared number of arrays")
+		seed    = flag.Uint64("seed", 1, "shared sketch seed")
+		keys    = flag.String("keys", "SrcIP", "comma-separated partial keys to report")
+		top     = flag.Int("top", 5, "rows per partial key")
+		every   = flag.Duration("every", 5*time.Second, "reporting interval")
+		oneshot = flag.Bool("oneshot", false, "print one report after the first epoch completes, then exit")
+	)
+	flag.Parse()
+
+	var masks []flowkey.Mask
+	for _, expr := range strings.Split(*keys, ",") {
+		m, err := flowkey.ParseMask(expr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cococollector: %v\n", err)
+			os.Exit(2)
+		}
+		masks = append(masks, m)
+	}
+
+	cfg := core.ConfigForMemory[flowkey.FiveTuple](*d, *memKB*1024, *seed)
+	collector := netwide.NewCollector(cfg)
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cococollector: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("collecting on %s (mem %dKB, d=%d, seed %d)\n", l.Addr(), *memKB, *d, *seed)
+	go func() {
+		if err := collector.Serve(l); err != nil {
+			fmt.Fprintf(os.Stderr, "cococollector: serve: %v\n", err)
+			os.Exit(1)
+		}
+	}()
+
+	for epoch := uint32(0); ; {
+		time.Sleep(*every)
+		engine, ok := collector.Epoch(epoch)
+		if !ok {
+			continue
+		}
+		fmt.Printf("\n=== epoch %d (%d agents) ===\n", epoch, collector.AgentsReported(epoch))
+		for _, m := range masks {
+			fmt.Print(query.FormatRows(m, engine.Top(m, *top), *top))
+		}
+		if *oneshot {
+			return
+		}
+		epoch++
+	}
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cocosketch/internal/trace"
+)
+
+func TestGenerateAndReload(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "t.pcap")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-profile", "mawi", "-packets", "5000", "-seed", "3", "-o", out}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "5000 packets") {
+		t.Fatalf("stdout: %s", stdout.String())
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := trace.FromPCAP(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Packets) != 5000 {
+		t.Fatalf("reloaded %d packets", len(tr.Packets))
+	}
+}
+
+func TestBadProfile(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-profile", "lan"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit %d", code)
+	}
+}
+
+func TestBadOutputPath(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-packets", "10", "-o", "/nonexistent-dir/x.pcap"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit %d", code)
+	}
+}

@@ -1,0 +1,50 @@
+// Command cocop4gen emits the P4_16 source of the hardware-friendly
+// CocoSketch for a given geometry, plus the key-word helper macros.
+//
+// Usage:
+//
+//	cocop4gen -d 2 -l 8192 -o cocosketch.p4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"cocosketch/internal/rmt"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cocop4gen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		d   = fs.Int("d", 2, "number of bucket arrays")
+		l   = fs.Int("l", 8192, "buckets per array")
+		out = fs.String("o", "", "output file (default stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	src, err := rmt.GenerateP4(*d, *l)
+	if err != nil {
+		fmt.Fprintf(stderr, "cocop4gen: %v\n", err)
+		return 1
+	}
+	text := rmt.GenerateP4KeyWordHelpers() + "\n" + src
+	if *out == "" {
+		fmt.Fprint(stdout, text)
+		return 0
+	}
+	if err := os.WriteFile(*out, []byte(text), 0o644); err != nil {
+		fmt.Fprintf(stderr, "cocop4gen: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "wrote %s (d=%d, l=%d)\n", *out, *d, *l)
+	return 0
+}

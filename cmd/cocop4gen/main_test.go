@@ -1,0 +1,41 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestStdout(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-d", "3", "-l", "64"}, &out, &errw); code != 0 {
+		t.Fatalf("exit %d: %s", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "val_2") || !strings.Contains(out.String(), "BUCKETS = 64") {
+		t.Fatalf("output wrong:\n%s", out.String())
+	}
+}
+
+func TestFileOutput(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.p4")
+	var out, errw bytes.Buffer
+	if code := run([]string{"-o", path}, &out, &errw); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "#include <tna.p4>") {
+		t.Fatal("file missing P4 content")
+	}
+}
+
+func TestBadGeometry(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-d", "0"}, &out, &errw); code != 1 {
+		t.Fatalf("exit %d", code)
+	}
+}

@@ -1,0 +1,51 @@
+// Quickstart: the minimal CocoSketch workflow.
+//
+//  1. Declare the full key (here the 5-tuple) and build one sketch.
+//  2. Feed packets — no per-key configuration, one update per packet.
+//  3. At query time, pick ANY partial key and aggregate.
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"cocosketch/internal/core"
+	"cocosketch/internal/flowkey"
+	"cocosketch/internal/query"
+	"cocosketch/internal/trace"
+)
+
+func main() {
+	// One 500 KB sketch with the paper's default d=2.
+	sk := core.NewBasicForMemory[flowkey.FiveTuple](core.DefaultArrays, 500*1024, 42)
+
+	// Replay a synthetic backbone-like trace (stand-in for CAIDA).
+	tr := trace.CAIDALike(500_000, 7)
+	for i := range tr.Packets {
+		sk.Insert(tr.Packets[i].Key, 1)
+	}
+	fmt.Printf("inserted %d packets; sketch holds %d buckets in %d KB\n",
+		len(tr.Packets), sk.Arrays()*sk.BucketsPerArray(), sk.MemoryBytes()/1024)
+
+	// Step 3 (control plane): decode the full-key table once...
+	engine := query.NewEngine(sk.Decode())
+
+	// ...and answer partial keys that were never configured up front.
+	for _, expr := range []string{"5-tuple", "SrcIP", "SrcIP/16", "DstIP+DstPort"} {
+		m, err := flowkey.ParseMask(expr)
+		if err != nil {
+			panic(err)
+		}
+		rows := engine.Top(m, 3)
+		fmt.Printf("\ntop flows by %s:\n%s", expr, query.FormatRows(m, rows, 3))
+	}
+
+	// The same result via the paper's SQL form.
+	rows, err := engine.SQL("SELECT SrcIP/8, SUM(Size) FROM table GROUP BY SrcIP/8")
+	if err != nil {
+		panic(err)
+	}
+	m, _ := flowkey.ParseMask("SrcIP/8")
+	fmt.Printf("\nvia SQL (SrcIP/8):\n%s", query.FormatRows(m, rows, 3))
+}

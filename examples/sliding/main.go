@@ -1,0 +1,53 @@
+// Continuous monitoring with a sliding window: the trace is split into
+// time-based measurement epochs; a core.Window keeps the last W epochs
+// queryable while older state ages out — the deployment loop of a
+// long-running monitor.
+//
+// Run: go run ./examples/sliding
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"cocosketch/internal/core"
+	"cocosketch/internal/flowkey"
+	"cocosketch/internal/query"
+	"cocosketch/internal/sketch"
+	"cocosketch/internal/trace"
+)
+
+func main() {
+	cfg := trace.CAIDAConfig(600_000, 17)
+	cfg.RateMpps = 2
+	tr := trace.Generate(cfg) // ≈ 300 ms of traffic
+
+	const epoch = 50 * time.Millisecond
+	windows := tr.SplitByTime(epoch)
+	fmt.Printf("trace spans %v → %d epochs of %v\n\n", tr.Duration().Round(time.Millisecond),
+		len(windows), epoch)
+
+	// Keep the last 3 epochs queryable.
+	win := core.NewWindow(3, core.ConfigForMemory[flowkey.FiveTuple](
+		core.DefaultArrays, 200*1024, 99))
+
+	srcMask := flowkey.MaskFields(flowkey.FieldSrcIP)
+	for e, w := range windows {
+		for i := range w.Packets {
+			win.Insert(w.Packets[i].Key, 1)
+		}
+		table, err := win.Decode()
+		if err != nil {
+			panic(err)
+		}
+		engine := query.NewEngine(table)
+		top := engine.Top(srcMask, 1)
+		var lead sketch.Entry[flowkey.FiveTuple]
+		if len(top) > 0 {
+			lead = top[0]
+		}
+		fmt.Printf("epoch %d: window covers %7d packets; top source %v (%d)\n",
+			e, sketch.TotalWeight(table), flowkey.IPv4(lead.Key.SrcIP), lead.Size)
+		win.Rotate()
+	}
+}

@@ -1,0 +1,3 @@
+module cocosketch
+
+go 1.22

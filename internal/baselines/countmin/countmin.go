@@ -1,0 +1,121 @@
+// Package countmin implements the Count-Min sketch (Cormode &
+// Muthukrishnan, 2005) with a top-k min-heap — the paper's "CM-Heap"
+// baseline.
+//
+// The sketch is d rows × w 32-bit counters; a flow's estimate is the
+// minimum of its d counters (always an overestimate). The companion
+// heap tracks the current heavy hitters so they can be enumerated at
+// query time, as single-key sketches require.
+package countmin
+
+import (
+	"cocosketch/internal/flowkey"
+	"cocosketch/internal/hash"
+	"cocosketch/internal/topk"
+)
+
+// DefaultRows is the usual number of hash rows (the paper's Tofino CM
+// uses a small constant number of rows; 3 is the common software pick).
+const DefaultRows = 3
+
+// DefaultHeapFraction is the share of the memory budget given to the
+// top-k heap; the rest buys counters.
+const DefaultHeapFraction = 0.25
+
+// Sketch is a Count-Min sketch plus heavy-hitter heap. Not safe for
+// concurrent use.
+type Sketch[K flowkey.Key] struct {
+	rows     int
+	width    int
+	counters [][]uint32
+	family   *hash.Family
+	heap     *topk.Tracker[K]
+	memory   int
+}
+
+// New constructs a Count-Min sketch with the given geometry and heap
+// capacity.
+func New[K flowkey.Key](rows, width, heapCap int, seed uint64) *Sketch[K] {
+	if rows <= 0 || width <= 0 {
+		panic("countmin: rows and width must be positive")
+	}
+	counters := make([][]uint32, rows)
+	for i := range counters {
+		counters[i] = make([]uint32, width)
+	}
+	s := &Sketch[K]{
+		rows:     rows,
+		width:    width,
+		counters: counters,
+		family:   hash.NewFamily(rows, uint32(seed)),
+		heap:     topk.New[K](heapCap),
+	}
+	s.memory = rows*width*4 + heapCap*topk.EntryBytes[K]()
+	return s
+}
+
+// NewForMemory splits a memory budget between counters and heap
+// (DefaultHeapFraction) with DefaultRows rows.
+func NewForMemory[K flowkey.Key](memoryBytes int, seed uint64) *Sketch[K] {
+	heapBytes := int(float64(memoryBytes) * DefaultHeapFraction)
+	heapCap := heapBytes / topk.EntryBytes[K]()
+	if heapCap < 8 {
+		heapCap = 8
+	}
+	width := (memoryBytes - heapCap*topk.EntryBytes[K]()) / (DefaultRows * 4)
+	if width < 1 {
+		width = 1
+	}
+	return New[K](DefaultRows, width, heapCap, seed)
+}
+
+// Name implements sketch.Sketch.
+func (s *Sketch[K]) Name() string { return "CM-Heap" }
+
+// MemoryBytes implements sketch.Sketch.
+func (s *Sketch[K]) MemoryBytes() int { return s.memory }
+
+func (s *Sketch[K]) index(row int, key K) int {
+	h := key.Hash(s.family.Seed(row))
+	return int((uint64(h) * uint64(s.width)) >> 32)
+}
+
+// Insert adds w to the flow and refreshes the heavy-hitter heap.
+func (s *Sketch[K]) Insert(key K, w uint64) {
+	if w == 0 {
+		return
+	}
+	est := ^uint64(0)
+	for r := 0; r < s.rows; r++ {
+		c := &s.counters[r][s.index(r, key)]
+		nv := uint64(*c) + w
+		if nv > 0xffffffff {
+			nv = 0xffffffff // saturate 32-bit counters
+		}
+		*c = uint32(nv)
+		if nv < est {
+			est = nv
+		}
+	}
+	if est > s.heap.Min() || s.heap.Contains(key) {
+		s.heap.Update(key, est)
+	}
+}
+
+// Query returns the Count-Min estimate (minimum over rows).
+func (s *Sketch[K]) Query(key K) uint64 {
+	est := ^uint64(0)
+	for r := 0; r < s.rows; r++ {
+		if v := uint64(s.counters[r][s.index(r, key)]); v < est {
+			est = v
+		}
+	}
+	return est
+}
+
+// Decode returns the heap contents — the flows a CM-Heap deployment can
+// actually enumerate.
+func (s *Sketch[K]) Decode() map[K]uint64 { return s.heap.Items() }
+
+// HeapLen reports how many flows the heap currently tracks.
+func (s *Sketch[K]) HeapLen() int { return s.heap.Len() }

@@ -1,0 +1,128 @@
+package countmin
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cocosketch/internal/flowkey"
+	"cocosketch/internal/xrand"
+)
+
+func key(i uint32) flowkey.IPv4 { return flowkey.IPv4FromUint32(i) }
+
+func TestNeverUnderestimates(t *testing.T) {
+	s := New[flowkey.IPv4](3, 64, 16, 1)
+	truth := map[flowkey.IPv4]uint64{}
+	rng := xrand.New(2)
+	for i := 0; i < 30000; i++ {
+		k := key(uint32(rng.Uint64n(500)))
+		s.Insert(k, 1)
+		truth[k]++
+	}
+	for k, want := range truth {
+		if got := s.Query(k); got < want {
+			t.Fatalf("CM underestimated %v: %d < %d", k, got, want)
+		}
+	}
+}
+
+func TestExactWithoutCollisions(t *testing.T) {
+	s := New[flowkey.IPv4](3, 1<<16, 16, 1)
+	for i := uint32(0); i < 50; i++ {
+		s.Insert(key(i), uint64(i)+1)
+	}
+	for i := uint32(0); i < 50; i++ {
+		if got := s.Query(key(i)); got != uint64(i)+1 {
+			t.Fatalf("Query(%d) = %d, want %d", i, got, i+1)
+		}
+	}
+}
+
+func TestHeapTracksHeavyHitters(t *testing.T) {
+	s := New[flowkey.IPv4](3, 4096, 4, 1)
+	rng := xrand.New(3)
+	for i := 0; i < 50000; i++ {
+		r := rng.Uint64n(100)
+		switch {
+		case r < 30:
+			s.Insert(key(1), 1)
+		case r < 50:
+			s.Insert(key(2), 1)
+		default:
+			s.Insert(key(uint32(rng.Uint64n(2000))+10), 1)
+		}
+	}
+	dec := s.Decode()
+	if _, ok := dec[key(1)]; !ok {
+		t.Fatal("30% flow missing from heap")
+	}
+	if _, ok := dec[key(2)]; !ok {
+		t.Fatal("20% flow missing from heap")
+	}
+	if s.HeapLen() > 4 {
+		t.Fatalf("heap exceeded capacity: %d", s.HeapLen())
+	}
+}
+
+func TestCounterSaturation(t *testing.T) {
+	s := New[flowkey.IPv4](1, 1, 1, 1)
+	s.Insert(key(1), 1<<33) // overflows 32-bit counter
+	if got := s.Query(key(1)); got != 0xffffffff {
+		t.Fatalf("saturated counter = %d, want 2^32-1", got)
+	}
+	s.Insert(key(1), 10)
+	if got := s.Query(key(1)); got != 0xffffffff {
+		t.Fatalf("counter moved past saturation: %d", got)
+	}
+}
+
+func TestQueryMonotoneInInserts(t *testing.T) {
+	f := func(ws []uint8) bool {
+		s := New[flowkey.IPv4](3, 128, 8, 7)
+		prev := uint64(0)
+		for _, w := range ws {
+			s.Insert(key(42), uint64(w)+1)
+			cur := s.Query(key(42))
+			if cur < prev {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemoryBudget(t *testing.T) {
+	s := NewForMemory[flowkey.IPv4](64*1024, 1)
+	if s.MemoryBytes() > 64*1024 {
+		t.Fatalf("memory %d over budget", s.MemoryBytes())
+	}
+	if s.Name() != "CM-Heap" {
+		t.Fatalf("Name = %q", s.Name())
+	}
+}
+
+func TestPanicsOnBadGeometry(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad geometry did not panic")
+		}
+	}()
+	New[flowkey.IPv4](0, 10, 4, 1)
+}
+
+func BenchmarkInsert(b *testing.B) {
+	s := NewForMemory[flowkey.IPv4](500*1024, 1)
+	rng := xrand.New(2)
+	keys := make([]flowkey.IPv4, 1<<12)
+	for i := range keys {
+		keys[i] = key(uint32(rng.Uint64n(1 << 20)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Insert(keys[i&(len(keys)-1)], 1)
+	}
+}

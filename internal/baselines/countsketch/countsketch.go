@@ -1,0 +1,145 @@
+// Package countsketch implements the Count sketch (Charikar, Chen &
+// Farach-Colton, 2004) with a top-k min-heap — the paper's "C-Heap"
+// baseline and the building block of UnivMon.
+//
+// Each of d rows adds ±w to one counter (sign from a second hash); a
+// flow's estimate is the median of its d signed counters, which is
+// unbiased but two-sided (can underestimate).
+package countsketch
+
+import (
+	"sort"
+
+	"cocosketch/internal/flowkey"
+	"cocosketch/internal/hash"
+	"cocosketch/internal/topk"
+)
+
+// DefaultRows is the usual number of rows for a Count sketch (odd, so
+// the median is a single counter).
+const DefaultRows = 3
+
+// DefaultHeapFraction is the share of memory given to the top-k heap.
+const DefaultHeapFraction = 0.25
+
+// Sketch is a Count sketch plus heavy-hitter heap. Not safe for
+// concurrent use.
+type Sketch[K flowkey.Key] struct {
+	rows     int
+	width    int
+	counters [][]int64
+	family   *hash.Family // bucket index hashes
+	signs    *hash.Family // sign hashes
+	heap     *topk.Tracker[K]
+	memory   int
+	scratch  []int64
+}
+
+// New constructs a Count sketch with the given geometry and heap
+// capacity.
+func New[K flowkey.Key](rows, width, heapCap int, seed uint64) *Sketch[K] {
+	if rows <= 0 || width <= 0 {
+		panic("countsketch: rows and width must be positive")
+	}
+	counters := make([][]int64, rows)
+	for i := range counters {
+		counters[i] = make([]int64, width)
+	}
+	s := &Sketch[K]{
+		rows:     rows,
+		width:    width,
+		counters: counters,
+		family:   hash.NewFamily(rows, uint32(seed)),
+		signs:    hash.NewFamily(rows, uint32(seed)+0x5151),
+		heap:     topk.New[K](heapCap),
+		scratch:  make([]int64, rows),
+	}
+	// 32-bit counters in hardware; charge 4 bytes each as the paper's
+	// configurations do.
+	s.memory = rows*width*4 + heapCap*topk.EntryBytes[K]()
+	return s
+}
+
+// NewForMemory splits a memory budget between counters and heap.
+func NewForMemory[K flowkey.Key](memoryBytes int, seed uint64) *Sketch[K] {
+	heapCap := int(float64(memoryBytes) * DefaultHeapFraction / float64(topk.EntryBytes[K]()))
+	if heapCap < 8 {
+		heapCap = 8
+	}
+	width := (memoryBytes - heapCap*topk.EntryBytes[K]()) / (DefaultRows * 4)
+	if width < 1 {
+		width = 1
+	}
+	return New[K](DefaultRows, width, heapCap, seed)
+}
+
+// Name implements sketch.Sketch.
+func (s *Sketch[K]) Name() string { return "C-Heap" }
+
+// MemoryBytes implements sketch.Sketch.
+func (s *Sketch[K]) MemoryBytes() int { return s.memory }
+
+func (s *Sketch[K]) cell(row int, key K) (int, int64) {
+	h := key.Hash(s.family.Seed(row))
+	idx := int((uint64(h) * uint64(s.width)) >> 32)
+	sign := int64(1)
+	if key.Hash(s.signs.Seed(row))&1 == 0 {
+		sign = -1
+	}
+	return idx, sign
+}
+
+// Insert adds ±w per row and refreshes the heavy-hitter heap.
+func (s *Sketch[K]) Insert(key K, w uint64) {
+	if w == 0 {
+		return
+	}
+	for r := 0; r < s.rows; r++ {
+		idx, sign := s.cell(r, key)
+		s.counters[r][idx] += sign * int64(w)
+	}
+	est := s.Query(key)
+	if est > s.heap.Min() || s.heap.Contains(key) {
+		s.heap.Update(key, est)
+	}
+}
+
+// Query returns the median-of-rows estimate, clamped at zero (flow
+// sizes are non-negative).
+func (s *Sketch[K]) Query(key K) uint64 {
+	for r := 0; r < s.rows; r++ {
+		idx, sign := s.cell(r, key)
+		s.scratch[r] = sign * s.counters[r][idx]
+	}
+	m := medianInt64(s.scratch)
+	if m < 0 {
+		return 0
+	}
+	return uint64(m)
+}
+
+// Decode returns the heap contents.
+func (s *Sketch[K]) Decode() map[K]uint64 { return s.heap.Items() }
+
+// HeapLen reports how many flows the heap currently tracks.
+func (s *Sketch[K]) HeapLen() int { return s.heap.Len() }
+
+func medianInt64(v []int64) int64 {
+	n := len(v)
+	if n == 0 {
+		return 0
+	}
+	if n <= 8 {
+		for i := 1; i < n; i++ {
+			for j := i; j > 0 && v[j] < v[j-1]; j-- {
+				v[j], v[j-1] = v[j-1], v[j]
+			}
+		}
+	} else {
+		sort.Slice(v, func(i, j int) bool { return v[i] < v[j] })
+	}
+	if n%2 == 1 {
+		return v[n/2]
+	}
+	return (v[n/2-1] + v[n/2]) / 2
+}

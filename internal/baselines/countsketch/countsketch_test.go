@@ -1,0 +1,130 @@
+package countsketch
+
+import (
+	"math"
+	"testing"
+
+	"cocosketch/internal/flowkey"
+	"cocosketch/internal/xrand"
+)
+
+func key(i uint32) flowkey.IPv4 { return flowkey.IPv4FromUint32(i) }
+
+func TestExactWithoutCollisions(t *testing.T) {
+	s := New[flowkey.IPv4](3, 1<<16, 16, 1)
+	for i := uint32(0); i < 50; i++ {
+		s.Insert(key(i), uint64(i)+1)
+	}
+	for i := uint32(0); i < 50; i++ {
+		if got := s.Query(key(i)); got != uint64(i)+1 {
+			t.Fatalf("Query(%d) = %d, want %d", i, got, i+1)
+		}
+	}
+}
+
+func TestUnbiasedUnderCollisions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	// The median-of-signed-rows estimate has symmetric error: averaged
+	// over seeds, estimates concentrate on the true count.
+	const trials = 80
+	var sum float64
+	for trial := 0; trial < trials; trial++ {
+		s := New[flowkey.IPv4](3, 32, 8, uint64(trial))
+		rng := xrand.New(uint64(trial) * 13)
+		for i := 0; i < 5000; i++ {
+			s.Insert(key(uint32(rng.Uint64n(200))+100), 1)
+		}
+		for i := 0; i < 2000; i++ {
+			s.Insert(key(7), 1)
+		}
+		sum += float64(s.Query(key(7)))
+	}
+	mean := sum / trials
+	if math.Abs(mean-2000) > 200 {
+		t.Fatalf("mean estimate %.0f, want about 2000", mean)
+	}
+}
+
+func TestNegativeClamp(t *testing.T) {
+	// An unseen flow's estimate can be negative pre-clamp; Query must
+	// return 0, never wrap around.
+	s := New[flowkey.IPv4](1, 1, 4, 1)
+	// Fill the single counter with a flow of the opposite sign if
+	// possible: insert many distinct flows so signs mix.
+	for i := uint32(0); i < 64; i++ {
+		s.Insert(key(i), 100)
+	}
+	for i := uint32(64); i < 128; i++ {
+		if got := s.Query(key(i)); got > 64*100 {
+			t.Fatalf("Query returned wrapped value %d", got)
+		}
+	}
+}
+
+func TestMedianRows(t *testing.T) {
+	if got := medianInt64([]int64{3, -5, 10}); got != 3 {
+		t.Fatalf("median = %d, want 3", got)
+	}
+	if got := medianInt64([]int64{4, 8}); got != 6 {
+		t.Fatalf("median = %d, want 6", got)
+	}
+	if got := medianInt64(nil); got != 0 {
+		t.Fatalf("median(nil) = %d", got)
+	}
+	big := []int64{9, 1, 8, 2, 7, 3, 6, 4, 5, 0}
+	if got := medianInt64(big); got != 4 {
+		t.Fatalf("median(0..9) = %d, want 4", got)
+	}
+}
+
+func TestHeapDecode(t *testing.T) {
+	s := New[flowkey.IPv4](3, 4096, 2, 1)
+	rng := xrand.New(9)
+	for i := 0; i < 20000; i++ {
+		if rng.Uint64n(2) == 0 {
+			s.Insert(key(1), 1)
+		} else {
+			s.Insert(key(uint32(rng.Uint64n(1000))+5), 1)
+		}
+	}
+	dec := s.Decode()
+	if _, ok := dec[key(1)]; !ok {
+		t.Fatal("dominant flow missing from decode")
+	}
+	if s.HeapLen() > 2 {
+		t.Fatalf("heap over capacity: %d", s.HeapLen())
+	}
+}
+
+func TestMemoryBudget(t *testing.T) {
+	s := NewForMemory[flowkey.IPv4](64*1024, 1)
+	if s.MemoryBytes() > 64*1024 {
+		t.Fatalf("memory %d over budget", s.MemoryBytes())
+	}
+	if s.Name() != "C-Heap" {
+		t.Fatalf("Name = %q", s.Name())
+	}
+}
+
+func TestZeroWeightNoop(t *testing.T) {
+	s := New[flowkey.IPv4](3, 16, 4, 1)
+	s.Insert(key(1), 0)
+	if got := s.Query(key(1)); got != 0 {
+		t.Fatalf("state changed on zero-weight insert: %d", got)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	s := NewForMemory[flowkey.IPv4](500*1024, 1)
+	rng := xrand.New(2)
+	keys := make([]flowkey.IPv4, 1<<12)
+	for i := range keys {
+		keys[i] = key(uint32(rng.Uint64n(1 << 20)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Insert(keys[i&(len(keys)-1)], 1)
+	}
+}

@@ -1,0 +1,166 @@
+// Package elastic implements the software Elastic sketch (Yang et al.,
+// SIGCOMM 2018): a "heavy part" of vote-based buckets backed by a
+// "light part" of small counters. It is the strongest single-key
+// baseline in the paper's evaluation and the hardware comparator for
+// the FPGA/P4 resource experiments.
+package elastic
+
+import (
+	"cocosketch/internal/flowkey"
+	"cocosketch/internal/hash"
+	"cocosketch/internal/sketch"
+)
+
+// Lambda is the eviction-vote threshold of the heavy part: a bucket's
+// key is evicted when negative votes reach Lambda × positive votes.
+const Lambda = 8
+
+// HeavyFraction is the share of the memory budget given to the heavy
+// part (Elastic's recommended split gives most memory to the light
+// part's per-byte counters).
+const HeavyFraction = 0.25
+
+type bucket[K flowkey.Key] struct {
+	key  K
+	pos  uint64 // positive votes: size accumulated while owning the bucket
+	neg  uint64 // negative votes: size of colliding flows
+	flag bool   // owner may have residue in the light part
+}
+
+// Sketch is a software Elastic sketch. Not safe for concurrent use.
+type Sketch[K flowkey.Key] struct {
+	heavy  []bucket[K]
+	light  []uint8 // single-row CM with saturating byte counters
+	seedH  uint32
+	seedL  uint32
+	memory int
+}
+
+// New constructs an Elastic sketch with the given heavy-bucket and
+// light-counter counts.
+func New[K flowkey.Key](heavyBuckets, lightCounters int, seed uint64) *Sketch[K] {
+	if heavyBuckets <= 0 || lightCounters <= 0 {
+		panic("elastic: sizes must be positive")
+	}
+	fam := hash.NewFamily(2, uint32(seed))
+	s := &Sketch[K]{
+		heavy: make([]bucket[K], heavyBuckets),
+		light: make([]uint8, lightCounters),
+		seedH: fam.Seed(0),
+		seedL: fam.Seed(1),
+	}
+	s.memory = heavyBuckets*bucketBytes[K]() + lightCounters
+	return s
+}
+
+func bucketBytes[K flowkey.Key]() int {
+	// key + 8-byte positive vote + 4-byte negative vote + flag byte.
+	return sketch.KeySize[K]() + 13
+}
+
+// NewForMemory splits a memory budget between heavy and light parts.
+func NewForMemory[K flowkey.Key](memoryBytes int, seed uint64) *Sketch[K] {
+	heavyBytes := int(float64(memoryBytes) * HeavyFraction)
+	hb := heavyBytes / bucketBytes[K]()
+	if hb < 1 {
+		hb = 1
+	}
+	lc := memoryBytes - hb*bucketBytes[K]()
+	if lc < 1 {
+		lc = 1
+	}
+	return New[K](hb, lc, seed)
+}
+
+// Name implements sketch.Sketch.
+func (s *Sketch[K]) Name() string { return "Elastic" }
+
+// MemoryBytes implements sketch.Sketch.
+func (s *Sketch[K]) MemoryBytes() int { return s.memory }
+
+func (s *Sketch[K]) heavyIndex(key K) int {
+	return int((uint64(key.Hash(s.seedH)) * uint64(len(s.heavy))) >> 32)
+}
+
+func (s *Sketch[K]) lightIndex(key K) int {
+	return int((uint64(key.Hash(s.seedL)) * uint64(len(s.light))) >> 32)
+}
+
+func (s *Sketch[K]) lightAdd(key K, w uint64) {
+	c := &s.light[s.lightIndex(key)]
+	nv := uint64(*c) + w
+	if nv > 255 {
+		nv = 255
+	}
+	*c = uint8(nv)
+}
+
+func (s *Sketch[K]) lightQuery(key K) uint64 {
+	return uint64(s.light[s.lightIndex(key)])
+}
+
+// Insert applies the Elastic vote rule.
+func (s *Sketch[K]) Insert(key K, w uint64) {
+	if w == 0 {
+		return
+	}
+	b := &s.heavy[s.heavyIndex(key)]
+	switch {
+	case b.pos == 0:
+		// Empty bucket: claim it.
+		b.key, b.pos, b.neg, b.flag = key, w, 0, false
+	case b.key == key:
+		b.pos += w
+	default:
+		b.neg += w
+		if b.neg >= Lambda*b.pos {
+			// Evict the owner's accumulated size to the light part
+			// and hand the bucket to the new flow.
+			s.lightAdd(b.key, b.pos)
+			b.key, b.pos, b.neg, b.flag = key, w, 0, true
+		} else {
+			s.lightAdd(key, w)
+		}
+	}
+}
+
+// Query combines the heavy and light parts.
+func (s *Sketch[K]) Query(key K) uint64 {
+	b := &s.heavy[s.heavyIndex(key)]
+	if b.pos != 0 && b.key == key {
+		if b.flag {
+			return b.pos + s.lightQuery(key)
+		}
+		return b.pos
+	}
+	return s.lightQuery(key)
+}
+
+// Decode enumerates the heavy part — the flows an Elastic deployment
+// reports as candidates.
+func (s *Sketch[K]) Decode() map[K]uint64 {
+	out := make(map[K]uint64, len(s.heavy))
+	for i := range s.heavy {
+		b := &s.heavy[i]
+		if b.pos == 0 {
+			continue
+		}
+		v := b.pos
+		if b.flag {
+			v += s.lightQuery(b.key)
+		}
+		out[b.key] += v
+	}
+	return out
+}
+
+// HeavyOccupancy reports the fraction of heavy buckets in use.
+func (s *Sketch[K]) HeavyOccupancy() float64 {
+	used := 0
+	for i := range s.heavy {
+		if s.heavy[i].pos != 0 {
+			used++
+		}
+	}
+	return float64(used) / float64(len(s.heavy))
+}

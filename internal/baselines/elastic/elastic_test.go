@@ -1,0 +1,150 @@
+package elastic
+
+import (
+	"testing"
+
+	"cocosketch/internal/flowkey"
+	"cocosketch/internal/xrand"
+)
+
+func key(i uint32) flowkey.IPv4 { return flowkey.IPv4FromUint32(i) }
+
+func TestSingleFlowExact(t *testing.T) {
+	s := New[flowkey.IPv4](64, 1024, 1)
+	s.Insert(key(1), 100)
+	s.Insert(key(1), 23)
+	if got := s.Query(key(1)); got != 123 {
+		t.Fatalf("Query = %d, want 123", got)
+	}
+}
+
+func TestCollidingFlowVotes(t *testing.T) {
+	// Two flows in the same bucket: the small one goes to the light
+	// part, the big one keeps the bucket until votes flip.
+	s := New[flowkey.IPv4](1, 1024, 1) // force a shared bucket
+	s.Insert(key(1), 100)
+	s.Insert(key(2), 3)
+	if got := s.Query(key(1)); got != 100 {
+		t.Fatalf("owner Query = %d, want 100", got)
+	}
+	if got := s.Query(key(2)); got != 3 {
+		t.Fatalf("collider Query = %d, want 3 (from light part)", got)
+	}
+}
+
+func TestEviction(t *testing.T) {
+	s := New[flowkey.IPv4](1, 1024, 1)
+	s.Insert(key(1), 2)
+	// Negative votes reach Lambda×pos ⇒ eviction; key(1)'s 2 units move
+	// to the light part.
+	s.Insert(key(2), Lambda*2)
+	if got := s.Query(key(2)); got == 0 {
+		t.Fatal("evicting flow not tracked in heavy part")
+	}
+	if got := s.Query(key(1)); got != 2 {
+		t.Fatalf("evicted flow lost its count: %d, want 2", got)
+	}
+	dec := s.Decode()
+	if _, ok := dec[key(2)]; !ok {
+		t.Fatal("heavy part decode missing new owner")
+	}
+}
+
+func TestFlagAddsLightResidue(t *testing.T) {
+	s := New[flowkey.IPv4](1, 1024, 1)
+	// key(2) first accumulates in the light part, then takes the bucket:
+	// its heavy estimate must include the light residue via the flag.
+	s.Insert(key(1), 1)
+	s.Insert(key(2), 5) // light (votes 5 < 8*1? 5<8 yes) → light add 5
+	s.Insert(key(2), 5) // neg 10 >= 8 → eviction, key2 takes bucket with 5
+	got := s.Query(key(2))
+	if got != 10 {
+		t.Fatalf("Query = %d, want 10 (5 heavy + 5 light)", got)
+	}
+}
+
+func TestLightSaturation(t *testing.T) {
+	s := New[flowkey.IPv4](1, 1, 1)
+	s.Insert(key(1), 1)
+	s.Insert(key(2), 1000) // evicts; light gets key1's 1
+	// Push key(1) mass into the single light counter repeatedly.
+	for i := 0; i < 100; i++ {
+		s.Insert(key(3), 10)
+	}
+	if got := s.lightQuery(key(3)); got != 255 {
+		t.Fatalf("light counter = %d, want saturation at 255", got)
+	}
+}
+
+func TestHeavyHittersSurviveChurn(t *testing.T) {
+	s := NewForMemory[flowkey.IPv4](64*1024, 1)
+	rng := xrand.New(4)
+	for i := 0; i < 200000; i++ {
+		if rng.Uint64n(10) == 0 {
+			s.Insert(key(7), 1)
+		} else {
+			s.Insert(key(uint32(rng.Uint64n(20000))+100), 1)
+		}
+	}
+	got := s.Query(key(7))
+	want := uint64(20000)
+	if got < want/2 || got > want*2 {
+		t.Fatalf("10%% flow estimate %d, want about %d", got, want)
+	}
+	if _, ok := s.Decode()[key(7)]; !ok {
+		t.Fatal("heavy hitter missing from decode")
+	}
+}
+
+func TestOccupancy(t *testing.T) {
+	s := New[flowkey.IPv4](16, 64, 1)
+	if got := s.HeavyOccupancy(); got != 0 {
+		t.Fatalf("fresh occupancy = %f", got)
+	}
+	for i := uint32(0); i < 100; i++ {
+		s.Insert(key(i), 1)
+	}
+	if got := s.HeavyOccupancy(); got == 0 {
+		t.Fatal("occupancy stayed zero after inserts")
+	}
+}
+
+func TestMemoryBudget(t *testing.T) {
+	s := NewForMemory[flowkey.IPv4](100*1024, 1)
+	if s.MemoryBytes() > 100*1024 {
+		t.Fatalf("memory %d over budget", s.MemoryBytes())
+	}
+	if s.Name() != "Elastic" {
+		t.Fatalf("Name = %q", s.Name())
+	}
+}
+
+func TestZeroWeightNoop(t *testing.T) {
+	s := New[flowkey.IPv4](4, 16, 1)
+	s.Insert(key(1), 0)
+	if s.Query(key(1)) != 0 {
+		t.Fatal("zero-weight insert changed state")
+	}
+}
+
+func TestPanicsOnBadSizes(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0, 0) did not panic")
+		}
+	}()
+	New[flowkey.IPv4](0, 0, 1)
+}
+
+func BenchmarkInsert(b *testing.B) {
+	s := NewForMemory[flowkey.IPv4](500*1024, 1)
+	rng := xrand.New(2)
+	keys := make([]flowkey.IPv4, 1<<12)
+	for i := range keys {
+		keys[i] = key(uint32(rng.Uint64n(1 << 20)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Insert(keys[i&(len(keys)-1)], 1)
+	}
+}

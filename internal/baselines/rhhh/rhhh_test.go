@@ -1,0 +1,138 @@
+package rhhh
+
+import (
+	"math"
+	"testing"
+
+	"cocosketch/internal/flowkey"
+	"cocosketch/internal/xrand"
+)
+
+func ip(v uint32) flowkey.IPv4 { return flowkey.IPv4FromUint32(v) }
+
+func TestOneDScaledEstimates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	// One dominant source: its estimate at every prefix length should
+	// land near the true count after ×33 scaling.
+	const trials = 10
+	const heavyCount = 33000
+	var sum32, sum16 float64
+	for trial := 0; trial < trials; trial++ {
+		r := NewOneD(512*1024, uint64(trial))
+		rng := xrand.New(uint64(trial) * 5)
+		for i := 0; i < heavyCount; i++ {
+			r.Insert(ip(0xC0A80101), 1)
+		}
+		for i := 0; i < heavyCount; i++ {
+			r.Insert(ip(uint32(rng.Uint64n(1<<20))), 1)
+		}
+		sum32 += float64(r.QueryPrefix(32, ip(0xC0A80101)))
+		sum16 += float64(r.QueryPrefix(16, ip(0xC0A80101)))
+	}
+	mean32 := sum32 / trials
+	if math.Abs(mean32-heavyCount) > 0.25*heavyCount {
+		t.Fatalf("/32 estimate %.0f, want about %d", mean32, heavyCount)
+	}
+	mean16 := sum16 / trials
+	if mean16 < float64(heavyCount)*0.75 {
+		t.Fatalf("/16 estimate %.0f, want at least the /32 mass %d", mean16, heavyCount)
+	}
+}
+
+func TestOneDLevelTables(t *testing.T) {
+	r := NewOneD(512*1024, 1)
+	for i := 0; i < 3300; i++ {
+		r.Insert(ip(0x0A000001), 1)
+	}
+	lvl := r.Level(32)
+	v, ok := lvl[ip(0x0A000001)]
+	if !ok {
+		t.Fatal("flow missing from level 32 table")
+	}
+	raw := r.levels[32].Query(ip(0x0A000001))
+	if v != raw*Levels1D {
+		t.Fatalf("Level table value %d not scaled (raw %d)", v, raw)
+	}
+	// Root level: all traffic aggregates to the empty prefix.
+	root := r.Level(0)
+	if len(root) > 1 {
+		t.Fatalf("root level has %d keys, want at most 1", len(root))
+	}
+}
+
+func TestOneDMemorySplit(t *testing.T) {
+	r := NewOneD(1024*1024, 1)
+	if r.MemoryBytes() > 1024*1024 {
+		t.Fatalf("memory %d over budget", r.MemoryBytes())
+	}
+	if len(r.levels) != Levels1D {
+		t.Fatalf("levels = %d", len(r.levels))
+	}
+	if r.Name() != "R-HHH" {
+		t.Fatalf("Name = %q", r.Name())
+	}
+}
+
+func TestOneDZeroWeightNoop(t *testing.T) {
+	r := NewOneD(64*1024, 1)
+	r.Insert(ip(1), 0)
+	for p := 0; p <= 32; p++ {
+		if len(r.Level(p)) != 0 {
+			t.Fatal("zero-weight insert changed state")
+		}
+	}
+}
+
+func TestTwoDScaledEstimates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	const trials = 5
+	const heavyCount = 110000 // ~100 samples per lattice node
+	pair := flowkey.IPPair{Src: ip(0xC0A80101), Dst: ip(0x0A000001)}
+	var sum float64
+	for trial := 0; trial < trials; trial++ {
+		r := NewTwoD(5*1024*1024, uint64(trial))
+		for i := 0; i < heavyCount; i++ {
+			r.Insert(pair, 1)
+		}
+		sum += float64(r.QueryPrefix(32, 32, pair))
+	}
+	mean := sum / trials
+	if math.Abs(mean-heavyCount) > 0.3*heavyCount {
+		t.Fatalf("exact-pair estimate %.0f, want about %d", mean, heavyCount)
+	}
+}
+
+func TestTwoDLevelIndexing(t *testing.T) {
+	r := NewTwoD(2*1024*1024, 1)
+	pair := flowkey.IPPair{Src: ip(0x01020304), Dst: ip(0x05060708)}
+	for i := 0; i < Levels2D; i++ {
+		r.Insert(pair, 1)
+	}
+	// The aggregate at (8, 0) must be keyed by the masked pair.
+	lvl := r.Level(8, 0)
+	for k := range lvl {
+		if k != pair.Prefix(8, 0) {
+			t.Fatalf("level (8,0) contains unmasked key %v", k)
+		}
+	}
+	if r.MemoryBytes() > 2*1024*1024 {
+		t.Fatalf("memory %d over budget", r.MemoryBytes())
+	}
+}
+
+func BenchmarkOneDInsert(b *testing.B) {
+	r := NewOneD(1024*1024, 1)
+	rng := xrand.New(2)
+	keys := make([]flowkey.IPv4, 1<<12)
+	for i := range keys {
+		keys[i] = ip(uint32(rng.Uint64n(1 << 24)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Insert(keys[i&(len(keys)-1)], 1)
+	}
+}

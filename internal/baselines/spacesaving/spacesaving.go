@@ -1,0 +1,160 @@
+// Package spacesaving implements the classic SpaceSaving algorithm
+// (Metwally et al., ICDT 2005), the deterministic ancestor of USS and
+// the "SS" baseline of the paper's evaluation.
+//
+// SpaceSaving keeps n (key, count) buckets. A tracked flow increments
+// its bucket; an untracked flow always takes over the minimum bucket,
+// inheriting its count — so estimates overestimate by at most the
+// displaced minimum, which is why the paper reports large ARE for SS
+// while its recall stays usable.
+package spacesaving
+
+import (
+	"cocosketch/internal/flowkey"
+	"cocosketch/internal/sketch"
+)
+
+// AuxOverheadFactor matches the accelerated-USS accounting: the hash
+// map and heap that make SpaceSaving fast cost auxiliary memory.
+const AuxOverheadFactor = 4
+
+type bucket[K flowkey.Key] struct {
+	key K
+	val uint64
+	err uint64 // overestimation bound inherited at takeover
+}
+
+// Sketch is a SpaceSaving stream summary (hash map + intrusive
+// min-heap). Not safe for concurrent use.
+type Sketch[K flowkey.Key] struct {
+	heap  []bucket[K]
+	index map[K]int
+	cap   int
+}
+
+// New returns a SpaceSaving summary with n buckets.
+func New[K flowkey.Key](n int, _ uint64) *Sketch[K] {
+	if n <= 0 {
+		panic("spacesaving: bucket count must be positive")
+	}
+	return &Sketch[K]{
+		heap:  make([]bucket[K], 0, n),
+		index: make(map[K]int, n),
+		cap:   n,
+	}
+}
+
+// NewForMemory sizes the summary for a memory budget, charging the
+// auxiliary-structure overhead.
+func NewForMemory[K flowkey.Key](memoryBytes int, seed uint64) *Sketch[K] {
+	n := memoryBytes / (AuxOverheadFactor * (sketch.KeySize[K]() + 8))
+	if n < 1 {
+		n = 1
+	}
+	return New[K](n, seed)
+}
+
+// Name implements sketch.Sketch.
+func (s *Sketch[K]) Name() string { return "SS" }
+
+// MemoryBytes implements sketch.Sketch.
+func (s *Sketch[K]) MemoryBytes() int {
+	return s.cap * AuxOverheadFactor * (sketch.KeySize[K]() + 8)
+}
+
+// Insert applies the SpaceSaving update rule.
+func (s *Sketch[K]) Insert(key K, w uint64) {
+	if w == 0 {
+		return
+	}
+	if i, ok := s.index[key]; ok {
+		s.heap[i].val += w
+		s.siftDown(i)
+		return
+	}
+	if len(s.heap) < s.cap {
+		s.heap = append(s.heap, bucket[K]{key: key, val: w})
+		i := len(s.heap) - 1
+		s.index[key] = i
+		s.siftUp(i)
+		return
+	}
+	// Deterministic takeover of the minimum bucket.
+	min := &s.heap[0]
+	delete(s.index, min.key)
+	min.err = min.val
+	min.val += w
+	min.key = key
+	s.index[key] = 0
+	s.siftDown(0)
+}
+
+// Query returns the tracked (over-)estimate, 0 if untracked.
+func (s *Sketch[K]) Query(key K) uint64 {
+	if i, ok := s.index[key]; ok {
+		return s.heap[i].val
+	}
+	return 0
+}
+
+// GuaranteedCount returns the lower bound val−err for a tracked flow.
+func (s *Sketch[K]) GuaranteedCount(key K) uint64 {
+	if i, ok := s.index[key]; ok {
+		return s.heap[i].val - s.heap[i].err
+	}
+	return 0
+}
+
+// Decode returns the tracked full-key table.
+func (s *Sketch[K]) Decode() map[K]uint64 {
+	out := make(map[K]uint64, len(s.heap))
+	for i := range s.heap {
+		out[s.heap[i].key] += s.heap[i].val
+	}
+	return out
+}
+
+// SumValues returns the total of all counters. SpaceSaving conserves
+// inserted weight exactly (takeover keeps the old count).
+func (s *Sketch[K]) SumValues() uint64 {
+	var sum uint64
+	for i := range s.heap {
+		sum += s.heap[i].val
+	}
+	return sum
+}
+
+func (s *Sketch[K]) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if s.heap[parent].val <= s.heap[i].val {
+			break
+		}
+		s.swap(i, parent)
+		i = parent
+	}
+}
+
+func (s *Sketch[K]) siftDown(i int) {
+	n := len(s.heap)
+	for {
+		smallest := i
+		if l := 2*i + 1; l < n && s.heap[l].val < s.heap[smallest].val {
+			smallest = l
+		}
+		if r := 2*i + 2; r < n && s.heap[r].val < s.heap[smallest].val {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		s.swap(i, smallest)
+		i = smallest
+	}
+}
+
+func (s *Sketch[K]) swap(i, j int) {
+	s.heap[i], s.heap[j] = s.heap[j], s.heap[i]
+	s.index[s.heap[i].key] = i
+	s.index[s.heap[j].key] = j
+}

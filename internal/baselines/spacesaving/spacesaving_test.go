@@ -1,0 +1,139 @@
+package spacesaving
+
+import (
+	"testing"
+
+	"cocosketch/internal/flowkey"
+	"cocosketch/internal/xrand"
+)
+
+func key(i uint32) flowkey.IPv4 { return flowkey.IPv4FromUint32(i) }
+
+func TestExactWhenRoomy(t *testing.T) {
+	s := New[flowkey.IPv4](128, 1)
+	for i := uint32(0); i < 100; i++ {
+		s.Insert(key(i), uint64(i)+1)
+	}
+	for i := uint32(0); i < 100; i++ {
+		if got := s.Query(key(i)); got != uint64(i)+1 {
+			t.Fatalf("Query(%d) = %d, want %d", i, got, i+1)
+		}
+		if got := s.GuaranteedCount(key(i)); got != uint64(i)+1 {
+			t.Fatalf("GuaranteedCount(%d) = %d, want %d", i, got, i+1)
+		}
+	}
+}
+
+func TestOverestimationOnly(t *testing.T) {
+	// SpaceSaving never underestimates a flow's true count.
+	s := New[flowkey.IPv4](8, 1)
+	truth := map[flowkey.IPv4]uint64{}
+	rng := xrand.New(7)
+	for i := 0; i < 50000; i++ {
+		k := key(uint32(rng.Uint64n(64)))
+		s.Insert(k, 1)
+		truth[k]++
+	}
+	for k, want := range truth {
+		if got := s.Query(k); got != 0 && got < want {
+			t.Fatalf("flow %v underestimated: %d < %d", k, got, want)
+		}
+	}
+}
+
+func TestSumConservation(t *testing.T) {
+	s := New[flowkey.IPv4](8, 1)
+	var total uint64
+	rng := xrand.New(3)
+	for i := 0; i < 20000; i++ {
+		w := rng.Uint64n(5) + 1
+		s.Insert(key(uint32(rng.Uint64n(100))), w)
+		total += w
+	}
+	if got := s.SumValues(); got != total {
+		t.Fatalf("sum %d, want %d", got, total)
+	}
+}
+
+func TestHeavyHitterAlwaysTracked(t *testing.T) {
+	// A flow holding >1/n of the stream must be in an n-bucket summary
+	// (the classic SpaceSaving guarantee).
+	s := New[flowkey.IPv4](10, 1)
+	rng := xrand.New(5)
+	heavy := key(999)
+	for i := 0; i < 50000; i++ {
+		if rng.Uint64n(5) == 0 { // 20% of traffic
+			s.Insert(heavy, 1)
+		} else {
+			s.Insert(key(uint32(rng.Uint64n(5000))), 1)
+		}
+	}
+	if s.Query(heavy) == 0 {
+		t.Fatal("20% heavy hitter not tracked by 10-bucket SpaceSaving")
+	}
+}
+
+func TestTakeoverInheritsCount(t *testing.T) {
+	s := New[flowkey.IPv4](1, 1)
+	s.Insert(key(1), 10)
+	s.Insert(key(2), 1) // takeover: val = 10 + 1
+	if got := s.Query(key(2)); got != 11 {
+		t.Fatalf("takeover estimate = %d, want 11", got)
+	}
+	if got := s.GuaranteedCount(key(2)); got != 1 {
+		t.Fatalf("guaranteed = %d, want 1", got)
+	}
+	if s.Query(key(1)) != 0 {
+		t.Fatal("displaced flow still tracked")
+	}
+}
+
+func TestDecode(t *testing.T) {
+	s := New[flowkey.IPv4](4, 1)
+	s.Insert(key(1), 5)
+	s.Insert(key(2), 3)
+	dec := s.Decode()
+	if len(dec) != 2 || dec[key(1)] != 5 || dec[key(2)] != 3 {
+		t.Fatalf("Decode = %v", dec)
+	}
+}
+
+func TestMemoryAccounting(t *testing.T) {
+	s := NewForMemory[flowkey.IPv4](4096, 1)
+	if s.MemoryBytes() > 4096 {
+		t.Fatalf("memory %d over budget", s.MemoryBytes())
+	}
+	if s.Name() != "SS" {
+		t.Fatalf("Name = %q", s.Name())
+	}
+}
+
+func TestZeroWeightNoop(t *testing.T) {
+	s := New[flowkey.IPv4](4, 1)
+	s.Insert(key(1), 0)
+	if s.SumValues() != 0 {
+		t.Fatal("zero-weight insert changed state")
+	}
+}
+
+func TestPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New[flowkey.IPv4](0, 1)
+}
+
+func BenchmarkInsert(b *testing.B) {
+	s := New[flowkey.IPv4](4096, 1)
+	rng := xrand.New(2)
+	keys := make([]flowkey.IPv4, 1<<12)
+	for i := range keys {
+		keys[i] = key(uint32(rng.Uint64n(1 << 18)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Insert(keys[i&(len(keys)-1)], 1)
+	}
+}

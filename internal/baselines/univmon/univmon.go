@@ -1,0 +1,132 @@
+// Package univmon implements UnivMon (Liu et al., SIGCOMM 2016): a
+// hierarchy of sampled Count sketches supporting universal statistics
+// (any G-sum) and heavy hitter detection — the paper's "UnivMon"
+// baseline.
+//
+// Level j sees a flow only if the first j sampling hash bits of the
+// flow are all one, i.e. with probability 2^-j. Each level runs a Count
+// sketch plus a heavy-hitter heap; the recursive estimator combines the
+// per-level heaps into an unbiased G-sum estimate.
+package univmon
+
+import (
+	"math/bits"
+
+	"cocosketch/internal/baselines/countsketch"
+	"cocosketch/internal/flowkey"
+	"cocosketch/internal/hash"
+	"cocosketch/internal/topk"
+)
+
+// DefaultLevels is the number of sampling levels (≈ log2 of the number
+// of distinct flows in a measurement window).
+const DefaultLevels = 14
+
+// DefaultHeapCap is the per-level heavy-hitter heap capacity.
+const DefaultHeapCap = 128
+
+// Sketch is a UnivMon instance. Not safe for concurrent use.
+type Sketch[K flowkey.Key] struct {
+	levels   []*countsketch.Sketch[K]
+	sampling *hash.Family // one sampling hash; bit j gates level j+1
+	memory   int
+}
+
+// New constructs a UnivMon with the given per-level Count-sketch
+// geometry.
+func New[K flowkey.Key](levels, rows, width, heapCap int, seed uint64) *Sketch[K] {
+	if levels <= 0 {
+		panic("univmon: levels must be positive")
+	}
+	s := &Sketch[K]{
+		levels:   make([]*countsketch.Sketch[K], levels),
+		sampling: hash.NewFamily(1, uint32(seed)+0xABCD),
+	}
+	for i := range s.levels {
+		s.levels[i] = countsketch.New[K](rows, width, heapCap, seed+uint64(i)*97)
+		s.memory += s.levels[i].MemoryBytes()
+	}
+	return s
+}
+
+// NewForMemory divides a memory budget evenly across DefaultLevels
+// levels.
+func NewForMemory[K flowkey.Key](memoryBytes int, seed uint64) *Sketch[K] {
+	perLevel := memoryBytes / DefaultLevels
+	rows := countsketch.DefaultRows
+	heapCap := DefaultHeapCap
+	width := (perLevel - heapCap*topk.EntryBytes[K]()) / (rows * 4)
+	if width < 16 {
+		width = 16
+	}
+	return New[K](DefaultLevels, rows, width, heapCap, seed)
+}
+
+// Name implements sketch.Sketch.
+func (s *Sketch[K]) Name() string { return "UnivMon" }
+
+// MemoryBytes implements sketch.Sketch.
+func (s *Sketch[K]) MemoryBytes() int { return s.memory }
+
+// depth returns the deepest level this key reaches: the number of
+// leading one bits of its sampling hash (level 0 always sees the key).
+func (s *Sketch[K]) depth(key K) int {
+	h := key.Hash(s.sampling.Seed(0))
+	d := bits.LeadingZeros32(^h) // count of leading ones
+	if d > len(s.levels)-1 {
+		d = len(s.levels) - 1
+	}
+	return d
+}
+
+// Insert updates levels 0..depth(key).
+func (s *Sketch[K]) Insert(key K, w uint64) {
+	if w == 0 {
+		return
+	}
+	d := s.depth(key)
+	for j := 0; j <= d; j++ {
+		s.levels[j].Insert(key, w)
+	}
+}
+
+// Query returns the level-0 Count sketch estimate.
+func (s *Sketch[K]) Query(key K) uint64 { return s.levels[0].Query(key) }
+
+// Decode returns the level-0 heavy-hitter heap — the flows UnivMon
+// reports for HH queries.
+func (s *Sketch[K]) Decode() map[K]uint64 { return s.levels[0].Decode() }
+
+// Gsum computes the universal-sketching estimate of Σ g(f(e)) over all
+// flows via the standard recursive estimator on the per-level heaps.
+// g must satisfy g(0) = 0.
+func (s *Sketch[K]) Gsum(g func(uint64) float64) float64 {
+	L := len(s.levels) - 1
+	// Y_L = Σ_{e ∈ Q_L} g(ŵ_L(e))
+	y := 0.0
+	for _, v := range s.levels[L].Decode() {
+		y += g(v)
+	}
+	for j := L - 1; j >= 0; j-- {
+		var sum float64
+		for k, v := range s.levels[j].Decode() {
+			ind := 0.0
+			if s.depth(k) > j { // sampled into level j+1
+				ind = 1.0
+			}
+			sum += (1 - 2*ind) * g(v)
+		}
+		y = 2*y + sum
+	}
+	return y
+}
+
+// LevelCounts reports how many flows each level's heap tracks (useful
+// for diagnostics and tests).
+func (s *Sketch[K]) LevelCounts() []int {
+	out := make([]int, len(s.levels))
+	for i, lv := range s.levels {
+		out[i] = lv.HeapLen()
+	}
+	return out
+}

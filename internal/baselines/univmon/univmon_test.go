@@ -1,0 +1,157 @@
+package univmon
+
+import (
+	"math"
+	"testing"
+
+	"cocosketch/internal/flowkey"
+	"cocosketch/internal/xrand"
+)
+
+func key(i uint32) flowkey.IPv4 { return flowkey.IPv4FromUint32(i) }
+
+func TestLevelZeroSeesEverything(t *testing.T) {
+	s := New[flowkey.IPv4](8, 3, 1<<14, 64, 1)
+	for i := uint32(0); i < 40; i++ {
+		s.Insert(key(i), uint64(i)+1)
+	}
+	for i := uint32(0); i < 40; i++ {
+		if got := s.Query(key(i)); got != uint64(i)+1 {
+			t.Fatalf("Query(%d) = %d, want %d (wide sketch should be exact)", i, got, i+1)
+		}
+	}
+}
+
+func TestSamplingHalvesPerLevel(t *testing.T) {
+	// Roughly half the flows should reach level 1, a quarter level 2...
+	// (wide rows so collisions never zero an estimate out of the heap)
+	s := New[flowkey.IPv4](6, 3, 1<<16, 10000, 1)
+	for i := uint32(0); i < 8000; i++ {
+		s.Insert(key(i), 1)
+	}
+	counts := s.LevelCounts()
+	// A handful of sign collisions can zero an estimate out of the
+	// heap, so allow a small deficit.
+	if counts[0] < 7500 {
+		t.Fatalf("level 0 tracked %d flows, want about 8000", counts[0])
+	}
+	for j := 1; j <= 3; j++ {
+		expected := 8000 >> j
+		if counts[j] < expected/2 || counts[j] > expected*2 {
+			t.Fatalf("level %d tracked %d flows, want about %d", j, counts[j], expected)
+		}
+	}
+}
+
+func TestDepthDeterministic(t *testing.T) {
+	s := New[flowkey.IPv4](8, 3, 64, 8, 1)
+	for i := uint32(0); i < 100; i++ {
+		if s.depth(key(i)) != s.depth(key(i)) {
+			t.Fatal("depth not deterministic")
+		}
+		if d := s.depth(key(i)); d < 0 || d > 7 {
+			t.Fatalf("depth %d out of range", d)
+		}
+	}
+}
+
+func TestHeavyHitterDetection(t *testing.T) {
+	s := NewForMemory[flowkey.IPv4](256*1024, 1)
+	rng := xrand.New(2)
+	for i := 0; i < 100000; i++ {
+		if rng.Uint64n(10) == 0 {
+			s.Insert(key(5), 1)
+		} else {
+			s.Insert(key(uint32(rng.Uint64n(5000))+100), 1)
+		}
+	}
+	dec := s.Decode()
+	if _, ok := dec[key(5)]; !ok {
+		t.Fatal("10% flow missing from level-0 heap")
+	}
+	got := s.Query(key(5))
+	if got < 5000 || got > 20000 {
+		t.Fatalf("heavy estimate %d, want about 10000", got)
+	}
+}
+
+func TestGsumCountEstimate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	// G(x) = x gives the total stream weight; the recursive estimator
+	// should land near the truth.
+	const total = 50000
+	var sum float64
+	const trials = 20
+	for trial := 0; trial < trials; trial++ {
+		s := New[flowkey.IPv4](10, 3, 2048, 512, uint64(trial))
+		rng := xrand.New(uint64(trial) * 3)
+		for i := 0; i < total; i++ {
+			s.Insert(key(uint32(rng.Uint64n(300))), 1)
+		}
+		sum += s.Gsum(func(v uint64) float64 { return float64(v) })
+	}
+	mean := sum / trials
+	if math.Abs(mean-total) > 0.2*total {
+		t.Fatalf("Gsum(identity) mean = %.0f, want about %d", mean, total)
+	}
+}
+
+func TestGsumDistinctCount(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	// G(x) = 1 for x>0 estimates the number of distinct flows (L0).
+	const flows = 256
+	var sum float64
+	const trials = 20
+	for trial := 0; trial < trials; trial++ {
+		s := New[flowkey.IPv4](10, 3, 2048, 512, uint64(trial)+77)
+		for i := uint32(0); i < flows; i++ {
+			s.Insert(key(i), 5)
+		}
+		sum += s.Gsum(func(v uint64) float64 {
+			if v > 0 {
+				return 1
+			}
+			return 0
+		})
+	}
+	mean := sum / trials
+	if math.Abs(mean-flows) > 0.25*flows {
+		t.Fatalf("Gsum(L0) mean = %.0f, want about %d", mean, flows)
+	}
+}
+
+func TestMemoryBudget(t *testing.T) {
+	s := NewForMemory[flowkey.IPv4](512*1024, 1)
+	if s.MemoryBytes() > 512*1024 {
+		t.Fatalf("memory %d over budget", s.MemoryBytes())
+	}
+	if s.Name() != "UnivMon" {
+		t.Fatalf("Name = %q", s.Name())
+	}
+}
+
+func TestPanicsOnZeroLevels(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with 0 levels did not panic")
+		}
+	}()
+	New[flowkey.IPv4](0, 3, 16, 4, 1)
+}
+
+func BenchmarkInsert(b *testing.B) {
+	s := NewForMemory[flowkey.IPv4](500*1024, 1)
+	rng := xrand.New(2)
+	keys := make([]flowkey.IPv4, 1<<12)
+	for i := range keys {
+		keys[i] = key(uint32(rng.Uint64n(1 << 20)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Insert(keys[i&(len(keys)-1)], 1)
+	}
+}

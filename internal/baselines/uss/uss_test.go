@@ -1,0 +1,245 @@
+package uss
+
+import (
+	"math"
+	"testing"
+
+	"cocosketch/internal/flowkey"
+	"cocosketch/internal/xrand"
+)
+
+func key(i uint32) flowkey.IPv4 { return flowkey.IPv4FromUint32(i) }
+
+type ussLike interface {
+	Insert(flowkey.IPv4, uint64)
+	Query(flowkey.IPv4) uint64
+	Decode() map[flowkey.IPv4]uint64
+	SumValues() uint64
+}
+
+func implementations(n int, seed uint64) map[string]ussLike {
+	return map[string]ussLike{
+		"naive":       NewNaive[flowkey.IPv4](n, seed),
+		"accelerated": NewAccelerated[flowkey.IPv4](n, seed),
+	}
+}
+
+func TestSumConservation(t *testing.T) {
+	for name, s := range implementations(32, 1) {
+		t.Run(name, func(t *testing.T) {
+			rng := xrand.New(2)
+			var total uint64
+			for i := 0; i < 20000; i++ {
+				w := rng.Uint64n(20) + 1
+				s.Insert(key(uint32(rng.Uint64n(500))), w)
+				total += w
+			}
+			if got := s.SumValues(); got != total {
+				t.Fatalf("counter sum = %d, want %d", got, total)
+			}
+		})
+	}
+}
+
+func TestExactWhenRoomy(t *testing.T) {
+	for name, s := range implementations(1024, 1) {
+		t.Run(name, func(t *testing.T) {
+			want := map[flowkey.IPv4]uint64{}
+			for i := uint32(0); i < 100; i++ {
+				for j := uint64(0); j <= uint64(i%7); j++ {
+					s.Insert(key(i), j+1)
+					want[key(i)] += j + 1
+				}
+			}
+			for k, v := range want {
+				if got := s.Query(k); got != v {
+					t.Fatalf("Query(%v) = %d, want %d", k, got, v)
+				}
+			}
+			dec := s.Decode()
+			if len(dec) != len(want) {
+				t.Fatalf("decode size %d, want %d", len(dec), len(want))
+			}
+		})
+	}
+}
+
+func TestZeroWeightNoop(t *testing.T) {
+	for name, s := range implementations(4, 1) {
+		t.Run(name, func(t *testing.T) {
+			s.Insert(key(1), 0)
+			if s.SumValues() != 0 {
+				t.Fatal("zero-weight insert changed state")
+			}
+		})
+	}
+}
+
+func TestQueryUntracked(t *testing.T) {
+	for name, s := range implementations(4, 1) {
+		t.Run(name, func(t *testing.T) {
+			if s.Query(key(9)) != 0 {
+				t.Fatal("untracked flow returned non-zero")
+			}
+		})
+	}
+}
+
+func TestNaiveAcceleratedAgreeStatistically(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	// Same stream through both; the heavy flow's estimate must agree
+	// within noise across repeated trials (they are the same algorithm,
+	// different data structures).
+	const trials = 60
+	const n = 16
+	var sumN, sumA float64
+	heavy := key(0)
+	for trial := 0; trial < trials; trial++ {
+		naive := NewNaive[flowkey.IPv4](n, uint64(trial))
+		accel := NewAccelerated[flowkey.IPv4](n, uint64(trial)+1000)
+		rng := xrand.New(uint64(trial) * 31)
+		for i := 0; i < 30000; i++ {
+			var k flowkey.IPv4
+			if rng.Uint64n(10) < 3 {
+				k = heavy
+			} else {
+				k = key(uint32(rng.Uint64n(200)) + 1)
+			}
+			naive.Insert(k, 1)
+			accel.Insert(k, 1)
+		}
+		sumN += float64(naive.Query(heavy))
+		sumA += float64(accel.Query(heavy))
+	}
+	meanN, meanA := sumN/trials, sumA/trials
+	if math.Abs(meanN-meanA) > 0.1*meanN {
+		t.Fatalf("naive mean %f vs accelerated mean %f differ beyond noise", meanN, meanA)
+	}
+	// Both should be near the true count 9000.
+	if math.Abs(meanN-9000) > 900 {
+		t.Fatalf("naive heavy estimate %f, want about 9000", meanN)
+	}
+}
+
+func TestUnbiasedUnderEviction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	// 4 buckets, 8 flows: constant eviction pressure. Mean estimate of
+	// each flow across trials ≈ true size (USS's core property).
+	sizes := []uint64{4000, 2000, 1000, 500, 250, 125, 60, 30}
+	const trials = 400
+	sum := make([]float64, len(sizes))
+	for trial := 0; trial < trials; trial++ {
+		s := NewAccelerated[flowkey.IPv4](4, uint64(trial))
+		rng := xrand.New(uint64(trial)*7 + 1)
+		// Interleave packets proportionally to size.
+		total := uint64(0)
+		for _, v := range sizes {
+			total += v
+		}
+		for p := uint64(0); p < total; p++ {
+			r := rng.Uint64n(total)
+			var acc uint64
+			for i, v := range sizes {
+				acc += v
+				if r < acc {
+					s.Insert(key(uint32(i)), 1)
+					break
+				}
+			}
+		}
+		for i := range sizes {
+			sum[i] += float64(s.Query(key(uint32(i))))
+		}
+	}
+	for i, want := range sizes {
+		if want < 500 {
+			continue // tiny flows too noisy at this trial count
+		}
+		got := sum[i] / trials
+		if math.Abs(got-float64(want)) > 0.12*float64(want) {
+			t.Errorf("flow %d: mean estimate %.0f, true %d", i, got, want)
+		}
+	}
+}
+
+func TestMemoryAccounting(t *testing.T) {
+	naive := NewNaiveForMemory[flowkey.IPv4](1200, 1)
+	if got := naive.MemoryBytes(); got > 1200 {
+		t.Fatalf("naive memory %d exceeds budget", got)
+	}
+	accel := NewAcceleratedForMemory[flowkey.IPv4](1200, 1)
+	if got := accel.MemoryBytes(); got > 1200 {
+		t.Fatalf("accelerated memory %d exceeds budget", got)
+	}
+	// Accelerated must get ~4x fewer buckets for the same budget.
+	if accel.cap > len(naive.buckets)/AuxOverheadFactor {
+		t.Fatalf("accelerated got %d buckets, naive %d; want at most 1/%d",
+			accel.cap, len(naive.buckets), AuxOverheadFactor)
+	}
+}
+
+func TestHeapIndexConsistency(t *testing.T) {
+	s := NewAccelerated[flowkey.IPv4](8, 3)
+	rng := xrand.New(4)
+	for i := 0; i < 5000; i++ {
+		s.Insert(key(uint32(rng.Uint64n(64))), rng.Uint64n(5)+1)
+		if i%500 == 0 {
+			for k, idx := range s.index {
+				if s.heap[idx].key != k {
+					t.Fatalf("index desync at step %d", i)
+				}
+			}
+			for j := 1; j < len(s.heap); j++ {
+				if s.heap[(j-1)/2].val > s.heap[j].val {
+					t.Fatalf("heap violated at step %d", i)
+				}
+			}
+		}
+	}
+}
+
+func TestPanicsOnBadSize(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewNaive[flowkey.IPv4](0, 1) },
+		func() { NewAccelerated[flowkey.IPv4](-1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad size did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func BenchmarkNaiveInsert(b *testing.B) {
+	s := NewNaive[flowkey.IPv4](4096, 1)
+	rng := xrand.New(2)
+	keys := make([]flowkey.IPv4, 1<<12)
+	for i := range keys {
+		keys[i] = key(uint32(rng.Uint64n(1 << 20)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Insert(keys[i&(len(keys)-1)], 1)
+	}
+}
+
+func BenchmarkAcceleratedInsert(b *testing.B) {
+	s := NewAccelerated[flowkey.IPv4](4096, 1)
+	rng := xrand.New(2)
+	keys := make([]flowkey.IPv4, 1<<12)
+	for i := range keys {
+		keys[i] = key(uint32(rng.Uint64n(1 << 20)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Insert(keys[i&(len(keys)-1)], 1)
+	}
+}

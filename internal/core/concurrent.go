@@ -1,0 +1,60 @@
+package core
+
+import (
+	"sync"
+
+	"cocosketch/internal/flowkey"
+)
+
+// Concurrent wraps a basic CocoSketch with a mutex for callers that
+// cannot shard per goroutine. Sharding (one sketch per dataplane
+// thread, merged at decode — see package ovs and netwide) is strictly
+// faster; this wrapper exists for low-rate, many-writer situations
+// like control-plane bookkeeping.
+type Concurrent[K flowkey.Key] struct {
+	mu sync.Mutex
+	s  *Basic[K]
+}
+
+// NewConcurrent wraps a freshly configured sketch.
+func NewConcurrent[K flowkey.Key](cfg Config) *Concurrent[K] {
+	return &Concurrent[K]{s: NewBasic[K](cfg)}
+}
+
+// Insert adds weight w to flow key.
+func (c *Concurrent[K]) Insert(key K, w uint64) {
+	c.mu.Lock()
+	c.s.Insert(key, w)
+	c.mu.Unlock()
+}
+
+// Query returns the recorded estimate of key.
+func (c *Concurrent[K]) Query(key K) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.s.Query(key)
+}
+
+// Decode builds the full-key table.
+func (c *Concurrent[K]) Decode() map[K]uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.s.Decode()
+}
+
+// MemoryBytes reports the wrapped sketch's footprint.
+func (c *Concurrent[K]) MemoryBytes() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.s.MemoryBytes()
+}
+
+// Name identifies the algorithm.
+func (c *Concurrent[K]) Name() string { return "CocoSketch-locked" }
+
+// SumValues exposes total counter mass (invariant checks).
+func (c *Concurrent[K]) SumValues() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.s.SumValues()
+}

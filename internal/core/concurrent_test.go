@@ -1,0 +1,64 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"cocosketch/internal/flowkey"
+	"cocosketch/internal/xrand"
+)
+
+func TestConcurrentParallelInserts(t *testing.T) {
+	c := NewConcurrent[flowkey.FiveTuple](Config{Arrays: 2, BucketsPerArray: 256, Seed: 1})
+	const workers = 8
+	const perWorker = 10000
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(id int) {
+			defer wg.Done()
+			rng := xrand.New(uint64(id))
+			for i := 0; i < perWorker; i++ {
+				c.Insert(tuple(uint32(rng.Uint64n(100)), 80), 1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.SumValues(); got != workers*perWorker {
+		t.Fatalf("sum = %d, want %d (weight conservation under concurrency)", got, workers*perWorker)
+	}
+	var decTotal uint64
+	for _, v := range c.Decode() {
+		decTotal += v
+	}
+	if decTotal != workers*perWorker {
+		t.Fatalf("decode total = %d", decTotal)
+	}
+}
+
+func TestConcurrentQueryDuringInserts(t *testing.T) {
+	c := NewConcurrent[flowkey.FiveTuple](Config{Arrays: 2, BucketsPerArray: 256, Seed: 2})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				c.Insert(tuple(uint32(i%50), 1), 1)
+			}
+		}
+	}()
+	for i := 0; i < 1000; i++ {
+		_ = c.Query(tuple(uint32(i%50), 1))
+		_ = c.MemoryBytes()
+	}
+	close(stop)
+	wg.Wait()
+	if c.Name() != "CocoSketch-locked" {
+		t.Fatalf("Name = %q", c.Name())
+	}
+}

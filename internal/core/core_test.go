@@ -1,0 +1,494 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cocosketch/internal/flowkey"
+	"cocosketch/internal/xrand"
+)
+
+func tuple(src uint32, port uint16) flowkey.FiveTuple {
+	return flowkey.FiveTuple{
+		SrcIP:   flowkey.IPv4FromUint32(src),
+		DstIP:   flowkey.IPv4FromUint32(0x0a000001),
+		SrcPort: port, DstPort: 443, Proto: 6,
+	}
+}
+
+// stream produces a deterministic packet stream over nFlows flows with
+// sizes roughly geometric, interleaved pseudo-randomly.
+func stream(nFlows, nPackets int, seed uint64) []flowkey.FiveTuple {
+	rng := xrand.New(seed)
+	flows := make([]flowkey.FiveTuple, nFlows)
+	for i := range flows {
+		flows[i] = tuple(uint32(0xC0000000+i), uint16(1000+i))
+	}
+	pkts := make([]flowkey.FiveTuple, nPackets)
+	for i := range pkts {
+		// Skewed choice: flow j with probability ~ 2^-j.
+		j := 0
+		for j < nFlows-1 && rng.Uint64n(2) == 0 {
+			j++
+		}
+		pkts[i] = flows[j]
+	}
+	return pkts
+}
+
+func trueCounts(pkts []flowkey.FiveTuple) map[flowkey.FiveTuple]uint64 {
+	m := make(map[flowkey.FiveTuple]uint64)
+	for _, p := range pkts {
+		m[p]++
+	}
+	return m
+}
+
+func TestConfigForMemory(t *testing.T) {
+	cfg := ConfigForMemory[flowkey.FiveTuple](2, 500*1024, 1)
+	if cfg.Arrays != 2 {
+		t.Fatalf("Arrays = %d", cfg.Arrays)
+	}
+	wantL := 500 * 1024 / (2 * (13 + 8))
+	if cfg.BucketsPerArray != wantL {
+		t.Fatalf("BucketsPerArray = %d, want %d", cfg.BucketsPerArray, wantL)
+	}
+	s := NewBasic[flowkey.FiveTuple](cfg)
+	if s.MemoryBytes() > 500*1024 {
+		t.Fatalf("MemoryBytes %d exceeds budget", s.MemoryBytes())
+	}
+	if s.Arrays() != 2 || s.BucketsPerArray() != wantL {
+		t.Fatal("accessors disagree with config")
+	}
+}
+
+func TestConfigForMemoryTiny(t *testing.T) {
+	cfg := ConfigForMemory[flowkey.FiveTuple](4, 1, 1)
+	if cfg.BucketsPerArray != 1 {
+		t.Fatalf("tiny budget should clamp to 1 bucket, got %d", cfg.BucketsPerArray)
+	}
+}
+
+func TestNewPanicsOnBadConfig(t *testing.T) {
+	for _, cfg := range []Config{{Arrays: 0, BucketsPerArray: 4}, {Arrays: 2, BucketsPerArray: 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v did not panic", cfg)
+				}
+			}()
+			NewBasic[flowkey.FiveTuple](cfg)
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("ConfigForMemory with d=0 did not panic")
+			}
+		}()
+		ConfigForMemory[flowkey.FiveTuple](0, 1024, 1)
+	}()
+}
+
+func TestBasicSumConservation(t *testing.T) {
+	// Invariant: the sum of all counters equals the total inserted
+	// weight — stochastic variance minimization moves keys, never mass.
+	s := NewBasic[flowkey.FiveTuple](Config{Arrays: 2, BucketsPerArray: 16, Seed: 1})
+	var total uint64
+	rng := xrand.New(2)
+	for i := 0; i < 10000; i++ {
+		w := rng.Uint64n(100) + 1
+		s.Insert(tuple(uint32(rng.Uint64n(500)), 80), w)
+		total += w
+	}
+	if got := s.SumValues(); got != total {
+		t.Fatalf("counter sum = %d, want %d", got, total)
+	}
+	// Decode must conserve it too.
+	var decTotal uint64
+	for _, v := range s.Decode() {
+		decTotal += v
+	}
+	if decTotal != total {
+		t.Fatalf("decode sum = %d, want %d", decTotal, total)
+	}
+}
+
+func TestHardwareSumConservationPerArray(t *testing.T) {
+	const d = 3
+	s := NewHardware[flowkey.FiveTuple](Config{Arrays: d, BucketsPerArray: 16, Seed: 1})
+	var total uint64
+	rng := xrand.New(2)
+	for i := 0; i < 10000; i++ {
+		w := rng.Uint64n(100) + 1
+		s.Insert(tuple(uint32(rng.Uint64n(500)), 80), w)
+		total += w
+	}
+	if got := s.SumValues(); got != d*total {
+		t.Fatalf("counter sum = %d, want %d (each array conserves weight)", got, d*total)
+	}
+}
+
+func TestBasicExactWhenNoCollisions(t *testing.T) {
+	// With far more buckets than flows, every flow keeps its own bucket
+	// and estimates are exact.
+	pkts := stream(8, 20000, 3)
+	truth := trueCounts(pkts)
+	s := NewBasic[flowkey.FiveTuple](Config{Arrays: 2, BucketsPerArray: 4096, Seed: 4})
+	for _, p := range pkts {
+		s.Insert(p, 1)
+	}
+	for k, want := range truth {
+		if got := s.Query(k); got != want {
+			t.Fatalf("flow %v: got %d, want %d", k, got, want)
+		}
+	}
+	dec := s.Decode()
+	if len(dec) != len(truth) {
+		t.Fatalf("decode has %d flows, want %d", len(dec), len(truth))
+	}
+}
+
+func TestBasicQueryUnknownFlow(t *testing.T) {
+	s := NewBasic[flowkey.FiveTuple](Config{Arrays: 2, BucketsPerArray: 64, Seed: 9})
+	if got := s.Query(tuple(1, 1)); got != 0 {
+		t.Fatalf("empty sketch Query = %d, want 0", got)
+	}
+	s.Insert(tuple(1, 1), 10)
+	if got := s.Query(tuple(2, 2)); got != 0 {
+		t.Fatalf("unknown flow Query = %d, want 0", got)
+	}
+}
+
+func TestZeroWeightInsertIsNoop(t *testing.T) {
+	b := NewBasic[flowkey.FiveTuple](Config{Arrays: 2, BucketsPerArray: 8, Seed: 1})
+	h := NewHardware[flowkey.FiveTuple](Config{Arrays: 2, BucketsPerArray: 8, Seed: 1})
+	b.Insert(tuple(1, 1), 0)
+	h.Insert(tuple(1, 1), 0)
+	if b.SumValues() != 0 || h.SumValues() != 0 {
+		t.Fatal("zero-weight insert changed state")
+	}
+}
+
+func TestBasicFirstInsertAlwaysRecorded(t *testing.T) {
+	// Replacement probability on an empty bucket is w/w = 1, so the
+	// first flow into a bucket is always recorded.
+	s := NewBasic[flowkey.FiveTuple](Config{Arrays: 2, BucketsPerArray: 1024, Seed: 5})
+	k := tuple(7, 7)
+	s.Insert(k, 3)
+	if got := s.Query(k); got != 3 {
+		t.Fatalf("first insert not recorded: Query = %d", got)
+	}
+}
+
+// estimateBias runs many independent trials and checks E[f̂] ≈ f for
+// both full keys and an aggregated partial key.
+func estimateBias(t *testing.T, newSketch func(seed uint64) interface {
+	Insert(flowkey.FiveTuple, uint64)
+	Decode() map[flowkey.FiveTuple]uint64
+}) {
+	t.Helper()
+	pkts := stream(12, 6000, 42)
+	truth := trueCounts(pkts)
+
+	const trials = 300
+	sum := make(map[flowkey.FiveTuple]float64)
+	srcMask := flowkey.MaskFields(flowkey.FieldSrcIP)
+	sumSrc := make(map[flowkey.FiveTuple]float64)
+	truthSrc := make(map[flowkey.FiveTuple]uint64)
+	for k, v := range truth {
+		truthSrc[srcMask.Apply(k)] += v
+	}
+
+	for trial := 0; trial < trials; trial++ {
+		s := newSketch(uint64(trial) + 1)
+		for _, p := range pkts {
+			s.Insert(p, 1)
+		}
+		dec := s.Decode()
+		for k, v := range dec {
+			sum[k] += float64(v)
+			sumSrc[srcMask.Apply(k)] += float64(v)
+		}
+	}
+
+	// Check the biggest flows: relative bias under 10% (small flows are
+	// noisy at 300 trials; unbiasedness is also covered by the sum
+	// conservation tests).
+	for k, want := range truth {
+		if want < 500 {
+			continue
+		}
+		got := sum[k] / trials
+		if math.Abs(got-float64(want)) > 0.1*float64(want) {
+			t.Errorf("full key %v: mean estimate %.1f, true %d", k, got, want)
+		}
+	}
+	for k, want := range truthSrc {
+		if want < 500 {
+			continue
+		}
+		got := sumSrc[k] / trials
+		if math.Abs(got-float64(want)) > 0.1*float64(want) {
+			t.Errorf("partial key %v: mean estimate %.1f, true %d", k, got, want)
+		}
+	}
+}
+
+func TestBasicUnbiased(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	estimateBias(t, func(seed uint64) interface {
+		Insert(flowkey.FiveTuple, uint64)
+		Decode() map[flowkey.FiveTuple]uint64
+	} {
+		// Deliberately undersized: 2×6 buckets for 12 flows forces
+		// evictions, which is where bias would show up.
+		return NewBasic[flowkey.FiveTuple](Config{Arrays: 2, BucketsPerArray: 6, Seed: seed})
+	})
+}
+
+func TestHardwareUnbiasedPerArray(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	// d=1 hardware: the single-array estimate is provably unbiased
+	// (Lemma 4); with d=2 the median equals the mean of two unbiased
+	// estimates, also unbiased.
+	estimateBias(t, func(seed uint64) interface {
+		Insert(flowkey.FiveTuple, uint64)
+		Decode() map[flowkey.FiveTuple]uint64
+	} {
+		return NewHardware[flowkey.FiveTuple](Config{Arrays: 2, BucketsPerArray: 6, Seed: seed})
+	})
+}
+
+func TestHardwareRecallBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	// Theorem 4: P[recorded] ≥ 1 − (1 + l·f/f̄)^−d. Check a heavy
+	// hitter at 1% of traffic with d=2, l=900 → recall ≥ 99%.
+	const trials = 200
+	recorded := 0
+	heavy := tuple(0xdead, 1)
+	for trial := 0; trial < trials; trial++ {
+		s := NewHardware[flowkey.FiveTuple](Config{Arrays: 2, BucketsPerArray: 900, Seed: uint64(trial)})
+		rng := xrand.New(uint64(trial) * 7)
+		// 100k packets, 1% to the heavy flow, rest spread over 20k flows.
+		for i := 0; i < 100000; i++ {
+			if rng.Uint64n(100) == 0 {
+				s.Insert(heavy, 1)
+			} else {
+				s.Insert(tuple(uint32(rng.Uint64n(20000)), 2), 1)
+			}
+		}
+		if s.Query(heavy) > 0 {
+			recorded++
+		}
+	}
+	if rate := float64(recorded) / trials; rate < 0.97 {
+		t.Fatalf("heavy hitter recall = %.3f, theorem promises ≥ 0.99", rate)
+	}
+}
+
+func TestHardwareDecodeMatchesQuery(t *testing.T) {
+	pkts := stream(40, 20000, 8)
+	s := NewHardware[flowkey.FiveTuple](Config{Arrays: 3, BucketsPerArray: 32, Seed: 6})
+	for _, p := range pkts {
+		s.Insert(p, 1)
+	}
+	for k, v := range s.Decode() {
+		if q := s.Query(k); q != v {
+			t.Fatalf("decode[%v] = %d but Query = %d", k, v, q)
+		}
+	}
+}
+
+func TestHardwareQueryMedianOddEven(t *testing.T) {
+	if got := median([]uint64{5}); got != 5 {
+		t.Fatalf("median[5] = %d", got)
+	}
+	if got := median([]uint64{4, 10}); got != 7 {
+		t.Fatalf("median[4,10] = %d", got)
+	}
+	if got := median([]uint64{10, 0}); got != 5 {
+		t.Fatalf("median[10,0] = %d", got)
+	}
+	if got := median([]uint64{3, 9, 1}); got != 3 {
+		t.Fatalf("median[3,9,1] = %d", got)
+	}
+	if got := median([]uint64{8, 2, 4, 6}); got != 5 {
+		t.Fatalf("median[8,2,4,6] = %d", got)
+	}
+	if got := median(nil); got != 0 {
+		t.Fatalf("median[] = %d", got)
+	}
+}
+
+func TestMedianIsOrderInvariant(t *testing.T) {
+	f := func(a, b, c, dd uint64) bool {
+		perms := [][]uint64{
+			{a, b, c, dd}, {dd, c, b, a}, {b, dd, a, c},
+		}
+		want := median(append([]uint64(nil), perms[0]...))
+		for _, p := range perms[1:] {
+			if median(append([]uint64(nil), p...)) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBasicHeavyHitterAccuracy(t *testing.T) {
+	// End-to-end: under memory pressure, the top flows must be found
+	// with small relative error (the paper's headline behaviour).
+	pkts := stream(16, 100000, 21)
+	truth := trueCounts(pkts)
+	s := NewBasic[flowkey.FiveTuple](Config{Arrays: 2, BucketsPerArray: 8, Seed: 10})
+	for _, p := range pkts {
+		s.Insert(p, 1)
+	}
+	for k, want := range truth {
+		if want < uint64(len(pkts)/10) {
+			continue // only the heavy flows
+		}
+		got := s.Query(k)
+		if got == 0 {
+			t.Fatalf("heavy flow %v (size %d) evicted", k, want)
+		}
+		re := math.Abs(float64(got)-float64(want)) / float64(want)
+		if re > 0.25 {
+			t.Errorf("heavy flow %v: estimate %d vs true %d (re=%.2f)", k, got, want, re)
+		}
+	}
+}
+
+func TestHardwareSetDivider(t *testing.T) {
+	s := NewHardware[flowkey.FiveTuple](Config{Arrays: 2, BucketsPerArray: 8, Seed: 1})
+	if s.Name() != "CocoSketch-HW" {
+		t.Fatalf("Name = %q", s.Name())
+	}
+	s.SetDivider(fakeDivider{})
+	if s.Name() != "CocoSketch-HW(fake)" {
+		t.Fatalf("Name after SetDivider = %q", s.Name())
+	}
+	// fakeDivider never replaces, so a second flow can never be recorded.
+	a, b := tuple(1, 1), tuple(2, 2)
+	s.Insert(a, 100)
+	for i := 0; i < 100; i++ {
+		s.Insert(b, 1)
+	}
+	if s.Query(b) != 0 {
+		t.Fatal("divider that never replaces still recorded a new key")
+	}
+}
+
+type fakeDivider struct{}
+
+func (fakeDivider) Replace(*xrand.Source, uint64, uint64) bool { return false }
+func (fakeDivider) Name() string                               { return "fake" }
+
+func TestBasicSeedsProduceDifferentLayouts(t *testing.T) {
+	pkts := stream(64, 5000, 11)
+	a := NewBasic[flowkey.FiveTuple](Config{Arrays: 2, BucketsPerArray: 16, Seed: 1})
+	b := NewBasic[flowkey.FiveTuple](Config{Arrays: 2, BucketsPerArray: 16, Seed: 2})
+	for _, p := range pkts {
+		a.Insert(p, 1)
+		b.Insert(p, 1)
+	}
+	da, db := a.Decode(), b.Decode()
+	same := 0
+	for k, v := range da {
+		if db[k] == v {
+			same++
+		}
+	}
+	if same == len(da) {
+		t.Fatal("different seeds produced identical decodes")
+	}
+}
+
+func TestBasicDeterministicForFixedSeed(t *testing.T) {
+	pkts := stream(64, 5000, 11)
+	run := func() map[flowkey.FiveTuple]uint64 {
+		s := NewBasic[flowkey.FiveTuple](Config{Arrays: 2, BucketsPerArray: 16, Seed: 33})
+		for _, p := range pkts {
+			s.Insert(p, 1)
+		}
+		return s.Decode()
+	}
+	d1, d2 := run(), run()
+	if len(d1) != len(d2) {
+		t.Fatal("non-deterministic decode size")
+	}
+	for k, v := range d1 {
+		if d2[k] != v {
+			t.Fatalf("non-deterministic estimate for %v: %d vs %d", k, v, d2[k])
+		}
+	}
+}
+
+func TestBasicEquivalentToUSSWhenDCoversAll(t *testing.T) {
+	// With l=1, the d buckets are all buckets, so basic CocoSketch
+	// degenerates to USS semantics: scan-all-min. Here just check the
+	// structural invariant that exactly one bucket absorbs each packet.
+	s := NewBasic[flowkey.FiveTuple](Config{Arrays: 4, BucketsPerArray: 1, Seed: 3})
+	var total uint64
+	rng := xrand.New(1)
+	for i := 0; i < 1000; i++ {
+		w := rng.Uint64n(9) + 1
+		s.Insert(tuple(uint32(rng.Uint64n(50)), 1), w)
+		total += w
+	}
+	if s.SumValues() != total {
+		t.Fatalf("sum %d != %d", s.SumValues(), total)
+	}
+}
+
+func TestQueryMeanVsMedian(t *testing.T) {
+	pkts := stream(40, 30000, 17)
+	s := NewHardware[flowkey.FiveTuple](Config{Arrays: 3, BucketsPerArray: 64, Seed: 5})
+	for _, p := range pkts {
+		s.Insert(p, 1)
+	}
+	truth := trueCounts(pkts)
+	// Both combiners must be within a factor of 2 on the top flow.
+	top := tuple(0xC0000000, 1000)
+	want := float64(truth[top])
+	med, mean := float64(s.Query(top)), float64(s.QueryMean(top))
+	if med < want/2 || med > want*2 {
+		t.Errorf("median estimate %f vs true %f", med, want)
+	}
+	if mean < want/2 || mean > want*2 {
+		t.Errorf("mean estimate %f vs true %f", mean, want)
+	}
+}
+
+func BenchmarkBasicInsert(b *testing.B) {
+	for _, d := range []int{1, 2, 4} {
+		b.Run(map[int]string{1: "d=1", 2: "d=2", 4: "d=4"}[d], func(b *testing.B) {
+			s := NewBasicForMemory[flowkey.FiveTuple](d, 500*1024, 1)
+			pkts := stream(10000, 1<<16, 1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Insert(pkts[i&(len(pkts)-1)], 1)
+			}
+		})
+	}
+}
+
+func BenchmarkHardwareInsert(b *testing.B) {
+	s := NewHardwareForMemory[flowkey.FiveTuple](2, 500*1024, 1)
+	pkts := stream(10000, 1<<16, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Insert(pkts[i&(len(pkts)-1)], 1)
+	}
+}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"testing"
+
+	"cocosketch/internal/flowkey"
+)
+
+// FuzzUnmarshalBasic feeds arbitrary bytes to the sketch deserializer:
+// it must reject garbage with an error, never panic, and round-trip
+// its own output.
+func FuzzUnmarshalBasic(f *testing.F) {
+	s := NewBasic[flowkey.FiveTuple](Config{Arrays: 2, BucketsPerArray: 4, Seed: 1})
+	s.Insert(tuple(1, 2), 3)
+	blob, _ := s.MarshalBinary()
+	f.Add(blob)
+	f.Add(blob[:len(blob)/2])
+	f.Add([]byte{})
+	mutated := append([]byte{}, blob...)
+	mutated[8] ^= 0x40
+	f.Add(mutated)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		back, err := UnmarshalBasic(data, flowkey.FiveTupleFromBytes)
+		if err != nil {
+			return
+		}
+		// Anything accepted must re-marshal to an equivalent sketch.
+		blob2, err := back.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		again, err := UnmarshalBasic(blob2, flowkey.FiveTupleFromBytes)
+		if err != nil {
+			t.Fatalf("own output rejected: %v", err)
+		}
+		d1, d2 := back.Decode(), again.Decode()
+		if len(d1) != len(d2) {
+			t.Fatalf("re-marshal changed decode: %d vs %d", len(d1), len(d2))
+		}
+	})
+}
+
+// FuzzParseMask hits the mask grammar with arbitrary strings.
+func FuzzParseMask(f *testing.F) {
+	for _, s := range []string{"SrcIP", "SrcIP/24+DstIP", "5-tuple", "", "a+b", "SrcIP/99"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		m, err := flowkey.ParseMask(s)
+		if err != nil {
+			return
+		}
+		// Accepted masks must round-trip through their string form.
+		back, err := flowkey.ParseMask(m.String())
+		if err != nil {
+			t.Fatalf("mask %v string %q does not re-parse: %v", m, m.String(), err)
+		}
+		if back != m {
+			t.Fatalf("round trip changed mask: %v -> %v", m, back)
+		}
+	})
+}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"cocosketch/internal/flowkey"
+)
+
+// Planning helpers: translate the paper's accuracy theorems into
+// concrete sketch geometries, so operators size memory from targets
+// instead of guessing.
+
+// PlanAccuracy returns a Config satisfying Theorem 3's error bound
+//
+//	P[ R(e) ≥ ε·sqrt(f̄(e)/f(e)) ] ≤ δ
+//
+// via l = ceil(3/ε²) and d = max(2, ceil(ln(1/δ))).
+func PlanAccuracy(epsilon, delta float64, seed uint64) (Config, error) {
+	if epsilon <= 0 || epsilon >= 1 {
+		return Config{}, fmt.Errorf("core: epsilon %v outside (0,1)", epsilon)
+	}
+	if delta <= 0 || delta >= 1 {
+		return Config{}, fmt.Errorf("core: delta %v outside (0,1)", delta)
+	}
+	l := int(math.Ceil(3 / (epsilon * epsilon)))
+	d := int(math.Ceil(math.Log(1 / delta)))
+	if d < 2 {
+		d = 2
+	}
+	return Config{Arrays: d, BucketsPerArray: l, Seed: seed}, nil
+}
+
+// PlanRecall returns a Config meeting Theorem 4's recall bound for
+// heavy hitters carrying at least `fraction` of traffic:
+//
+//	P[recorded] ≥ 1 − (1 + l·f/f̄)^−d ≥ recall.
+//
+// With the paper's example (recall 0.99 of 1% hitters, d = 2) this
+// yields l = 900.
+func PlanRecall(fraction, recall float64, d int, seed uint64) (Config, error) {
+	if fraction <= 0 || fraction >= 1 {
+		return Config{}, fmt.Errorf("core: fraction %v outside (0,1)", fraction)
+	}
+	if recall <= 0 || recall >= 1 {
+		return Config{}, fmt.Errorf("core: recall %v outside (0,1)", recall)
+	}
+	if d <= 0 {
+		return Config{}, fmt.Errorf("core: d must be positive")
+	}
+	// Solve (1 + l·r)^-d ≤ 1 − recall for l, where r = f/f̄ =
+	// fraction/(1−fraction).
+	r := fraction / (1 - fraction)
+	l := int(math.Ceil((math.Pow(1/(1-recall), 1/float64(d)) - 1) / r))
+	if l < 1 {
+		l = 1
+	}
+	return Config{Arrays: d, BucketsPerArray: l, Seed: seed}, nil
+}
+
+// MemoryForConfig reports the byte footprint of a planned Config for
+// key type K.
+func MemoryForConfig[K flowkey.Key](cfg Config) int {
+	return cfg.Arrays * cfg.BucketsPerArray * BucketBytes[K]()
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"testing"
+
+	"cocosketch/internal/flowkey"
+	"cocosketch/internal/xrand"
+)
+
+func TestPlanAccuracyGeometry(t *testing.T) {
+	cfg, err := PlanAccuracy(0.5, 0.05, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.BucketsPerArray != 12 { // ceil(3/0.25)
+		t.Fatalf("l = %d, want 12", cfg.BucketsPerArray)
+	}
+	if cfg.Arrays != 3 { // ceil(ln 20) = 3
+		t.Fatalf("d = %d, want 3", cfg.Arrays)
+	}
+}
+
+func TestPlanAccuracyRejects(t *testing.T) {
+	for _, pair := range [][2]float64{{0, 0.1}, {1.5, 0.1}, {0.5, 0}, {0.5, 1}} {
+		if _, err := PlanAccuracy(pair[0], pair[1], 1); err == nil {
+			t.Errorf("PlanAccuracy(%v, %v) accepted", pair[0], pair[1])
+		}
+	}
+}
+
+func TestPlanRecallPaperExample(t *testing.T) {
+	// §5.3: 99% recall on 1% heavy hitters with d = 2 needs l = 900.
+	cfg, err := PlanRecall(0.01, 0.99, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Arrays != 2 {
+		t.Fatalf("d = %d", cfg.Arrays)
+	}
+	if cfg.BucketsPerArray < 850 || cfg.BucketsPerArray > 950 {
+		t.Fatalf("l = %d, want about 900 (paper §5.3)", cfg.BucketsPerArray)
+	}
+}
+
+func TestPlanRecallDelivers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	// Empirically verify the planned geometry hits its recall target.
+	cfg, err := PlanRecall(0.01, 0.99, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const trials = 150
+	recorded := 0
+	heavy := tuple(0xbeef, 1)
+	for trial := 0; trial < trials; trial++ {
+		cfg.Seed = uint64(trial)
+		s := NewHardware[flowkey.FiveTuple](cfg)
+		rng := xrand.New(uint64(trial)*5 + 2)
+		for i := 0; i < 60000; i++ {
+			if rng.Uint64n(100) == 0 {
+				s.Insert(heavy, 1)
+			} else {
+				s.Insert(tuple(uint32(rng.Uint64n(30000)), 2), 1)
+			}
+		}
+		if s.Query(heavy) > 0 {
+			recorded++
+		}
+	}
+	if rate := float64(recorded) / trials; rate < 0.97 {
+		t.Fatalf("planned recall %.3f, target 0.99", rate)
+	}
+}
+
+func TestPlanRecallRejects(t *testing.T) {
+	if _, err := PlanRecall(0, 0.9, 2, 1); err == nil {
+		t.Error("fraction 0 accepted")
+	}
+	if _, err := PlanRecall(0.01, 1, 2, 1); err == nil {
+		t.Error("recall 1 accepted")
+	}
+	if _, err := PlanRecall(0.01, 0.9, 0, 1); err == nil {
+		t.Error("d=0 accepted")
+	}
+}
+
+func TestMemoryForConfig(t *testing.T) {
+	cfg := Config{Arrays: 2, BucketsPerArray: 100}
+	want := 2 * 100 * (13 + 8)
+	if got := MemoryForConfig[flowkey.FiveTuple](cfg); got != want {
+		t.Fatalf("memory = %d, want %d", got, want)
+	}
+}

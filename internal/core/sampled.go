@@ -1,0 +1,77 @@
+package core
+
+import (
+	"math"
+
+	"cocosketch/internal/flowkey"
+	"cocosketch/internal/xrand"
+)
+
+// Sampled wraps a CocoSketch with NitroSketch-style geometric packet
+// sampling — the throughput extension §8 of the paper points to: only
+// a p-fraction of packets touch the sketch, each carrying weight w/p,
+// which keeps all estimates unbiased while cutting per-packet cost.
+//
+// The skip to the next sampled packet is drawn geometrically, so
+// unsampled packets cost one decrement. Not safe for concurrent use.
+type Sampled[K flowkey.Key] struct {
+	inner interface {
+		Insert(K, uint64)
+	}
+	rng  *xrand.Source
+	pNum uint64 // sampling probability = pNum / pDen
+	pDen uint64
+	skip uint64 // packets to pass before the next sampled one
+}
+
+// NewSampled wraps inner (a *Basic or *Hardware) with sampling
+// probability num/den. num must be in (0, den].
+func NewSampled[K flowkey.Key](inner interface{ Insert(K, uint64) }, num, den uint64, seed uint64) *Sampled[K] {
+	if num == 0 || den == 0 || num > den {
+		panic("core: sampling probability must be in (0, 1]")
+	}
+	s := &Sampled[K]{inner: inner, rng: xrand.New(seed), pNum: num, pDen: den}
+	s.skip = s.nextSkip()
+	return s
+}
+
+// nextSkip draws a geometric gap: the number of unsampled packets
+// before the next sampled one.
+func (s *Sampled[K]) nextSkip() uint64 {
+	if s.pNum == s.pDen {
+		return 0
+	}
+	// Inverse-transform sampling of Geometric(p) via repeated
+	// Bernoulli would be O(1/p); draw directly from the CDF instead:
+	// skip = floor(ln(U) / ln(1-p)).
+	u := s.rng.Float64()
+	for u == 0 {
+		u = s.rng.Float64()
+	}
+	p := float64(s.pNum) / float64(s.pDen)
+	k := int64(math.Log(u) / math.Log(1-p))
+	if k < 0 {
+		k = 0
+	}
+	return uint64(k)
+}
+
+// Insert processes one packet: most packets only decrement a counter;
+// sampled packets update the sketch with weight scaled by 1/p.
+func (s *Sampled[K]) Insert(key K, w uint64) {
+	if w == 0 {
+		return
+	}
+	if s.skip > 0 {
+		s.skip--
+		return
+	}
+	s.skip = s.nextSkip()
+	// Scale the weight by den/num, rounding by randomized residue so
+	// the expectation is exact.
+	scaled := w * s.pDen / s.pNum
+	if rem := w * s.pDen % s.pNum; rem != 0 && s.rng.Bernoulli(rem, s.pNum) {
+		scaled++
+	}
+	s.inner.Insert(key, scaled)
+}

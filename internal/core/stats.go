@@ -1,0 +1,88 @@
+package core
+
+import "cocosketch/internal/flowkey"
+
+// Stats summarizes a sketch's occupancy — the control-plane
+// diagnostics an operator reads before trusting a decode (a saturated
+// sketch with uniformly large counters signals under-provisioning).
+type Stats struct {
+	// Arrays and BucketsPerArray echo the geometry.
+	Arrays          int
+	BucketsPerArray int
+	// Occupied counts buckets with non-zero counters.
+	Occupied int
+	// TotalWeight is the sum of all counters.
+	TotalWeight uint64
+	// MinValue / MaxValue / MeanValue summarize non-empty counters.
+	MinValue  uint64
+	MaxValue  uint64
+	MeanValue float64
+	// PerArrayWeight is each array's counter total (equal for the
+	// hardware variant; a load-balance signal for the basic one).
+	PerArrayWeight []uint64
+}
+
+// Occupancy is the fraction of non-empty buckets.
+func (s Stats) Occupancy() float64 {
+	total := s.Arrays * s.BucketsPerArray
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Occupied) / float64(total)
+}
+
+func (t *table[K]) stats() Stats {
+	s := Stats{
+		Arrays:          t.d,
+		BucketsPerArray: t.l,
+		MinValue:        ^uint64(0),
+		PerArrayWeight:  make([]uint64, t.d),
+	}
+	for i, arr := range t.arrays {
+		for j := range arr {
+			v := arr[j].Val
+			if v == 0 {
+				continue
+			}
+			s.Occupied++
+			s.TotalWeight += v
+			s.PerArrayWeight[i] += v
+			if v < s.MinValue {
+				s.MinValue = v
+			}
+			if v > s.MaxValue {
+				s.MaxValue = v
+			}
+		}
+	}
+	if s.Occupied == 0 {
+		s.MinValue = 0
+	} else {
+		s.MeanValue = float64(s.TotalWeight) / float64(s.Occupied)
+	}
+	return s
+}
+
+// Stats reports the sketch's occupancy diagnostics.
+func (s *Basic[K]) Stats() Stats { return s.stats() }
+
+// Stats reports the sketch's occupancy diagnostics.
+func (s *Hardware[K]) Stats() Stats { return s.stats() }
+
+// interface checks: both variants satisfy the shared contracts.
+var (
+	_ interface {
+		Insert(flowkey.FiveTuple, uint64)
+		Query(flowkey.FiveTuple) uint64
+		Decode() map[flowkey.FiveTuple]uint64
+		MemoryBytes() int
+		Name() string
+	} = (*Basic[flowkey.FiveTuple])(nil)
+	_ interface {
+		Insert(flowkey.FiveTuple, uint64)
+		Query(flowkey.FiveTuple) uint64
+		Decode() map[flowkey.FiveTuple]uint64
+		MemoryBytes() int
+		Name() string
+	} = (*Hardware[flowkey.FiveTuple])(nil)
+)

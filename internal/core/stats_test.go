@@ -1,0 +1,65 @@
+package core
+
+import (
+	"testing"
+
+	"cocosketch/internal/flowkey"
+	"cocosketch/internal/xrand"
+)
+
+func TestStatsEmpty(t *testing.T) {
+	s := NewBasic[flowkey.FiveTuple](Config{Arrays: 2, BucketsPerArray: 8, Seed: 1})
+	st := s.Stats()
+	if st.Occupied != 0 || st.TotalWeight != 0 || st.MinValue != 0 || st.Occupancy() != 0 {
+		t.Fatalf("empty stats = %+v", st)
+	}
+	if st.Arrays != 2 || st.BucketsPerArray != 8 {
+		t.Fatalf("geometry echo wrong: %+v", st)
+	}
+}
+
+func TestStatsAfterInserts(t *testing.T) {
+	s := NewBasic[flowkey.FiveTuple](Config{Arrays: 2, BucketsPerArray: 64, Seed: 1})
+	s.Insert(tuple(1, 1), 10)
+	s.Insert(tuple(2, 2), 30)
+	st := s.Stats()
+	if st.Occupied != 2 {
+		t.Fatalf("occupied = %d", st.Occupied)
+	}
+	if st.TotalWeight != 40 || st.MinValue != 10 || st.MaxValue != 30 || st.MeanValue != 20 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Occupancy() != 2.0/128 {
+		t.Fatalf("occupancy = %f", st.Occupancy())
+	}
+}
+
+func TestStatsPerArrayHardware(t *testing.T) {
+	s := NewHardware[flowkey.FiveTuple](Config{Arrays: 3, BucketsPerArray: 32, Seed: 2})
+	rng := xrand.New(5)
+	var total uint64
+	for i := 0; i < 5000; i++ {
+		w := rng.Uint64n(4) + 1
+		s.Insert(tuple(uint32(rng.Uint64n(100)), 1), w)
+		total += w
+	}
+	st := s.Stats()
+	for i, w := range st.PerArrayWeight {
+		if w != total {
+			t.Fatalf("array %d weight = %d, want %d (hardware conserves per array)", i, w, total)
+		}
+	}
+}
+
+func TestStatsSaturationSignal(t *testing.T) {
+	// A sketch with far more flows than buckets approaches full
+	// occupancy — the operator's under-provisioning signal.
+	s := NewBasic[flowkey.FiveTuple](Config{Arrays: 2, BucketsPerArray: 16, Seed: 3})
+	rng := xrand.New(9)
+	for i := 0; i < 50000; i++ {
+		s.Insert(tuple(uint32(rng.Uint64n(10000)), 1), 1)
+	}
+	if occ := s.Stats().Occupancy(); occ < 0.95 {
+		t.Fatalf("overloaded sketch occupancy %.2f, want ≈1", occ)
+	}
+}

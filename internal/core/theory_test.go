@@ -1,0 +1,184 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"cocosketch/internal/flowkey"
+	"cocosketch/internal/xrand"
+)
+
+// These tests validate the paper's theorems empirically, so the
+// implementation is tied to the analysis, not just to itself.
+
+// TestTheorem1ReplacementProbability checks that when a packet (e_i, w)
+// hits a bucket holding (e_j, f_j), the key is replaced with
+// probability exactly w/(f_j+w) — the optimum of Eq. (2).
+func TestTheorem1ReplacementProbability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	const fj, w = 12, 4
+	const trials = 100000
+	replaced := 0
+	for trial := 0; trial < trials; trial++ {
+		s := NewBasic[flowkey.IPv4](Config{Arrays: 1, BucketsPerArray: 1, Seed: uint64(trial)})
+		s.Insert(flowkey.IPv4{1}, fj)
+		s.Insert(flowkey.IPv4{2}, w)
+		if s.Query(flowkey.IPv4{2}) != 0 {
+			replaced++
+		}
+	}
+	got := float64(replaced) / trials
+	want := float64(w) / float64(fj+w)
+	if math.Abs(got-want) > 0.005 {
+		t.Fatalf("replacement rate %.4f, want %.4f", got, want)
+	}
+}
+
+// TestTheorem2VarianceIncrement checks the variance of each flow's
+// estimate after one competing insert: Var[f̂] = w·f_j for both flows
+// (summing to the 2wf_j increment of Theorem 2).
+func TestTheorem2VarianceIncrement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	const fj, w = 20, 5
+	const trials = 200000
+	var sumI, sumsqI, sumJ, sumsqJ float64
+	for trial := 0; trial < trials; trial++ {
+		s := NewBasic[flowkey.IPv4](Config{Arrays: 1, BucketsPerArray: 1, Seed: uint64(trial) + 1})
+		s.Insert(flowkey.IPv4{1}, fj)
+		s.Insert(flowkey.IPv4{2}, w)
+		fi := float64(s.Query(flowkey.IPv4{2}))
+		fjEst := float64(s.Query(flowkey.IPv4{1}))
+		sumI += fi
+		sumsqI += fi * fi
+		sumJ += fjEst
+		sumsqJ += fjEst * fjEst
+	}
+	meanI := sumI / trials
+	varI := sumsqI/trials - meanI*meanI
+	meanJ := sumJ / trials
+	varJ := sumsqJ/trials - meanJ*meanJ
+
+	if math.Abs(meanI-w) > 0.1 {
+		t.Fatalf("E[f̂_i] = %.3f, want %d (unbiasedness)", meanI, w)
+	}
+	if math.Abs(meanJ-fj) > 0.2 {
+		t.Fatalf("E[f̂_j] = %.3f, want %d (unbiasedness)", meanJ, fj)
+	}
+	want := float64(w * fj)
+	if math.Abs(varI-want) > 0.05*want {
+		t.Fatalf("Var[f̂_i] = %.1f, want %.1f", varI, want)
+	}
+	if math.Abs(varJ-want) > 0.05*want {
+		t.Fatalf("Var[f̂_j] = %.1f, want %.1f", varJ, want)
+	}
+}
+
+// TestLemma5PerArrayVariance checks Var[f̂_i(e)] = f(e)·f̄(e)/l for the
+// hardware-friendly variant with d = 1.
+func TestLemma5PerArrayVariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	const l = 16
+	const trials = 4000
+	// Flow under test f(e) = 200; background f̄ = 3000 split over many
+	// small flows.
+	const fe, background = 200, 3000
+	var sum, sumsq float64
+	for trial := 0; trial < trials; trial++ {
+		s := NewHardware[flowkey.IPv4](Config{Arrays: 1, BucketsPerArray: l, Seed: uint64(trial)})
+		rng := xrand.New(uint64(trial)*31 + 7)
+		// Interleave the flow with background uniformly.
+		for i := 0; i < fe+background; i++ {
+			if rng.Uint64n(uint64(fe+background)) < fe {
+				s.Insert(flowkey.IPv4{9, 9, 9, 9}, 1)
+			} else {
+				s.Insert(flowkey.IPv4FromUint32(uint32(rng.Uint64n(1500))+100), 1)
+			}
+		}
+		v := float64(s.Query(flowkey.IPv4{9, 9, 9, 9}))
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / trials
+	variance := sumsq/trials - mean*mean
+	// The interleaving makes f(e) itself binomial around fe; allow a
+	// loose band around the theoretical f(e)·f̄/l.
+	want := float64(fe) * float64(background) / l
+	if mean < 0.85*fe || mean > 1.15*fe {
+		t.Fatalf("mean estimate %.1f, want about %d", mean, fe)
+	}
+	if variance < 0.4*want || variance > 2.5*want {
+		t.Fatalf("per-array variance %.0f, theory %.0f (f·f̄/l)", variance, want)
+	}
+}
+
+// TestTheorem3ErrorBound checks the tail bound
+// P[R(e) ≥ ε·sqrt(f̄/f)] ≤ δ with l = 3ε⁻² and d = O(log 1/δ).
+func TestTheorem3ErrorBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	const eps = 0.5
+	l := int(3 / (eps * eps)) // 12
+	const d = 3
+	const trials = 600
+	const fe, background = 300, 2000
+	exceed := 0
+	bound := eps * math.Sqrt(float64(background)/float64(fe)) // ε√(f̄/f)
+	for trial := 0; trial < trials; trial++ {
+		s := NewHardware[flowkey.IPv4](Config{Arrays: d, BucketsPerArray: l, Seed: uint64(trial)})
+		rng := xrand.New(uint64(trial)*17 + 3)
+		for i := 0; i < fe; i++ {
+			s.Insert(flowkey.IPv4{8, 8, 8, 8}, 1)
+		}
+		for i := 0; i < background; i++ {
+			s.Insert(flowkey.IPv4FromUint32(uint32(rng.Uint64n(900))+100), 1)
+		}
+		est := float64(s.Query(flowkey.IPv4{8, 8, 8, 8}))
+		relErr := math.Abs(est-fe) / fe
+		if relErr >= bound {
+			exceed++
+		}
+	}
+	// With d=3 the median-of-3 bound gives δ well under 20%; assert a
+	// conservative ceiling.
+	if rate := float64(exceed) / trials; rate > 0.2 {
+		t.Fatalf("tail probability %.3f exceeds bound regime (ε=%.2f, bound=%.2f)", rate, eps, bound)
+	}
+}
+
+// TestVarianceShrinksWithMemory: doubling l must not increase the
+// estimate variance (the resource-accuracy tradeoff direction).
+func TestVarianceShrinksWithMemory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	variance := func(l int) float64 {
+		const trials = 800
+		var sum, sumsq float64
+		for trial := 0; trial < trials; trial++ {
+			s := NewHardware[flowkey.IPv4](Config{Arrays: 2, BucketsPerArray: l, Seed: uint64(trial)})
+			rng := xrand.New(uint64(trial)*11 + 5)
+			for i := 0; i < 200; i++ {
+				s.Insert(flowkey.IPv4{7, 7, 7, 7}, 1)
+			}
+			for i := 0; i < 2000; i++ {
+				s.Insert(flowkey.IPv4FromUint32(uint32(rng.Uint64n(800))+100), 1)
+			}
+			v := float64(s.Query(flowkey.IPv4{7, 7, 7, 7}))
+			sum += v
+			sumsq += v * v
+		}
+		mean := sum / trials
+		return sumsq/trials - mean*mean
+	}
+	small, large := variance(8), variance(64)
+	if large > small {
+		t.Fatalf("variance grew with memory: l=8 → %.0f, l=64 → %.0f", small, large)
+	}
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"fmt"
+
+	"cocosketch/internal/flowkey"
+)
+
+// Window maintains measurement over the last W epochs as a ring of
+// CocoSketch shards: inserts go to the current epoch's shard, Rotate
+// retires the oldest shard, and queries merge the live shards. This is
+// the sliding-window deployment pattern (continuous monitoring with
+// bounded staleness) built on the estimate-preserving Merge.
+//
+// Not safe for concurrent use.
+type Window struct {
+	cfg    Config
+	shards []*Basic[flowkey.FiveTuple]
+	// cur indexes the shard receiving inserts.
+	cur int
+	// epoch counts total rotations, for labeling.
+	epoch uint64
+}
+
+// NewWindow creates a sliding window of w epochs, each shard using the
+// shared configuration (so they merge).
+func NewWindow(w int, cfg Config) *Window {
+	if w <= 0 {
+		panic("core: window must cover at least one epoch")
+	}
+	win := &Window{cfg: cfg, shards: make([]*Basic[flowkey.FiveTuple], w)}
+	for i := range win.shards {
+		win.shards[i] = NewBasic[flowkey.FiveTuple](cfg)
+	}
+	return win
+}
+
+// Epochs returns the window width.
+func (w *Window) Epochs() int { return len(w.shards) }
+
+// Epoch returns the number of completed rotations.
+func (w *Window) Epoch() uint64 { return w.epoch }
+
+// Insert records a packet into the current epoch.
+func (w *Window) Insert(key flowkey.FiveTuple, weight uint64) {
+	w.shards[w.cur].Insert(key, weight)
+}
+
+// Rotate closes the current epoch: the oldest shard is discarded and
+// replaced by a fresh one, which becomes current.
+func (w *Window) Rotate() {
+	w.cur = (w.cur + 1) % len(w.shards)
+	w.shards[w.cur] = NewBasic[flowkey.FiveTuple](w.cfg)
+	w.epoch++
+}
+
+// Decode merges the live shards into one full-key table covering the
+// whole window.
+func (w *Window) Decode() (map[flowkey.FiveTuple]uint64, error) {
+	merged := NewBasic[flowkey.FiveTuple](w.cfg)
+	for _, s := range w.shards {
+		if err := merged.Merge(s); err != nil {
+			return nil, fmt.Errorf("core: window decode: %w", err)
+		}
+	}
+	return merged.Decode(), nil
+}
+
+// DecodeEpoch returns the table of the current (still open) epoch only.
+func (w *Window) DecodeEpoch() map[flowkey.FiveTuple]uint64 {
+	return w.shards[w.cur].Decode()
+}
+
+// MemoryBytes is the total footprint across shards.
+func (w *Window) MemoryBytes() int {
+	return len(w.shards) * w.shards[0].MemoryBytes()
+}

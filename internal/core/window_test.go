@@ -1,0 +1,103 @@
+package core
+
+import (
+	"testing"
+
+	"cocosketch/internal/flowkey"
+	"cocosketch/internal/xrand"
+)
+
+func TestWindowCoversLastEpochs(t *testing.T) {
+	cfg := Config{Arrays: 2, BucketsPerArray: 256, Seed: 3}
+	w := NewWindow(3, cfg)
+
+	// Epoch 0: flow A. Epoch 1: flow B. Epoch 2: flow C.
+	a, b, c := tuple(1, 1), tuple(2, 2), tuple(3, 3)
+	w.Insert(a, 100)
+	w.Rotate()
+	w.Insert(b, 200)
+	w.Rotate()
+	w.Insert(c, 300)
+
+	table, err := w.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table[a] != 100 || table[b] != 200 || table[c] != 300 {
+		t.Fatalf("window decode = %v", table)
+	}
+
+	// One more rotation expels epoch 0 (flow A).
+	w.Rotate()
+	w.Insert(tuple(4, 4), 400)
+	table, err = w.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, still := table[a]; still {
+		t.Fatal("expired epoch still visible")
+	}
+	if table[b] != 200 || table[c] != 300 || table[tuple(4, 4)] != 400 {
+		t.Fatalf("window decode after rotation = %v", table)
+	}
+	if w.Epoch() != 3 {
+		t.Fatalf("epoch counter = %d", w.Epoch())
+	}
+}
+
+func TestWindowConservation(t *testing.T) {
+	cfg := Config{Arrays: 2, BucketsPerArray: 16, Seed: 9}
+	w := NewWindow(4, cfg)
+	rng := xrand.New(2)
+	var inWindow uint64
+	for e := 0; e < 4; e++ {
+		for i := 0; i < 5000; i++ {
+			wt := rng.Uint64n(5) + 1
+			w.Insert(tuple(uint32(rng.Uint64n(200)), 1), wt)
+			inWindow += wt
+		}
+		if e < 3 {
+			w.Rotate()
+		}
+	}
+	table, err := w.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum uint64
+	for _, v := range table {
+		sum += v
+	}
+	if sum != inWindow {
+		t.Fatalf("window total = %d, want %d", sum, inWindow)
+	}
+}
+
+func TestWindowEpochDecode(t *testing.T) {
+	w := NewWindow(2, Config{Arrays: 1, BucketsPerArray: 64, Seed: 1})
+	w.Insert(tuple(1, 1), 5)
+	w.Rotate()
+	w.Insert(tuple(2, 2), 7)
+	cur := w.DecodeEpoch()
+	if len(cur) != 1 || cur[tuple(2, 2)] != 7 {
+		t.Fatalf("current epoch decode = %v", cur)
+	}
+}
+
+func TestWindowPanicsOnZeroWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-width window accepted")
+		}
+	}()
+	NewWindow(0, Config{Arrays: 1, BucketsPerArray: 4, Seed: 1})
+}
+
+func TestWindowMemoryBytes(t *testing.T) {
+	cfg := Config{Arrays: 2, BucketsPerArray: 64, Seed: 1}
+	w := NewWindow(3, cfg)
+	single := NewBasic[flowkey.FiveTuple](cfg).MemoryBytes()
+	if got := w.MemoryBytes(); got != 3*single {
+		t.Fatalf("window memory = %d, want %d", got, 3*single)
+	}
+}

@@ -1,0 +1,114 @@
+// Package distinct implements cardinality estimation: HyperLogLog as
+// the base substrate and partial-key distinct-count queries on top of
+// a CocoSketch decode.
+//
+// The paper leaves "extending CocoSketch to support distinct counting"
+// as future work (§8, the BeauCoup comparison); this package provides
+// the two practical routes:
+//
+//   - exact-over-recorded: count the distinct recorded full keys per
+//     partial key from the decode table (cheap; a lower bound, since
+//     small flows may be evicted), and
+//   - HLL-merged: one HyperLogLog per vantage point fed with full keys,
+//     mergeable like the sketches themselves (for SYN-flood style
+//     distinct-source counting).
+package distinct
+
+import (
+	"fmt"
+	"math"
+
+	"cocosketch/internal/flowkey"
+	"cocosketch/internal/hash"
+)
+
+// HLL is a HyperLogLog cardinality estimator with 2^p registers.
+// The zero value is unusable; construct with NewHLL.
+type HLL struct {
+	p    uint8
+	regs []uint8
+	seed uint32
+}
+
+// NewHLL returns an estimator with precision p in [4, 16]
+// (standard error ≈ 1.04/sqrt(2^p)).
+func NewHLL(p uint8, seed uint32) (*HLL, error) {
+	if p < 4 || p > 16 {
+		return nil, fmt.Errorf("distinct: precision %d outside [4,16]", p)
+	}
+	return &HLL{p: p, regs: make([]uint8, 1<<p), seed: seed}, nil
+}
+
+// Add observes one item.
+func (h *HLL) Add(item []byte) {
+	x := hash.Bob32(item, h.seed)
+	// Use the high p bits as the register index and count leading
+	// zeros of the remainder (plus one).
+	idx := x >> (32 - h.p)
+	rest := x<<h.p | 1<<(h.p-1) // ensure termination
+	rank := uint8(1)
+	for rest&0x80000000 == 0 {
+		rank++
+		rest <<= 1
+	}
+	if rank > h.regs[idx] {
+		h.regs[idx] = rank
+	}
+}
+
+// AddKey observes a flow key.
+func AddKey[K flowkey.Key](h *HLL, k K) {
+	var buf [64]byte
+	h.Add(k.AppendBytes(buf[:0]))
+}
+
+// Estimate returns the cardinality estimate with the standard
+// small-range correction.
+func (h *HLL) Estimate() float64 {
+	m := float64(len(h.regs))
+	var sum float64
+	zeros := 0
+	for _, r := range h.regs {
+		sum += 1 / float64(uint64(1)<<r)
+		if r == 0 {
+			zeros++
+		}
+	}
+	alpha := 0.7213 / (1 + 1.079/m)
+	est := alpha * m * m / sum
+	if est <= 2.5*m && zeros > 0 {
+		// Linear counting for small cardinalities.
+		est = m * math.Log(m/float64(zeros))
+	}
+	return est
+}
+
+// Merge folds another estimator (same precision and seed) into h.
+func (h *HLL) Merge(other *HLL) error {
+	if h.p != other.p || h.seed != other.seed {
+		return fmt.Errorf("distinct: incompatible HLLs (p %d/%d, seed %d/%d)",
+			h.p, other.p, h.seed, other.seed)
+	}
+	for i, r := range other.regs {
+		if r > h.regs[i] {
+			h.regs[i] = r
+		}
+	}
+	return nil
+}
+
+// MemoryBytes is the register footprint.
+func (h *HLL) MemoryBytes() int { return len(h.regs) }
+
+// RecordedDistinct counts, for every partial key, the distinct
+// *recorded* full keys mapping to it — the decode-table route to
+// partial-key distinct counting. It underestimates true distinct
+// counts when small flows were evicted, but needs no extra data-plane
+// state beyond the CocoSketch itself.
+func RecordedDistinct[F, P flowkey.Key](table map[F]uint64, g func(F) P) map[P]uint64 {
+	out := make(map[P]uint64)
+	for k := range table {
+		out[g(k)]++
+	}
+	return out
+}

@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"cocosketch/internal/baselines/elastic"
+	"cocosketch/internal/core"
+	"cocosketch/internal/flowkey"
+	"cocosketch/internal/metrics"
+	"cocosketch/internal/query"
+	"cocosketch/internal/rmt"
+	"cocosketch/internal/tasks"
+	"cocosketch/internal/trace"
+)
+
+func init() {
+	register("fig18a", runFig18a)
+}
+
+// runFig18a reproduces Figure 18(a): heavy-hitter F1 of the three
+// CocoSketch versions — basic (software), hardware-friendly with exact
+// division (FPGA) and hardware-friendly with the approximate math-unit
+// division (P4) — as memory grows.
+func runFig18a(cfg RunConfig) (*TableResult, error) {
+	tr := trace.CAIDALike(cfg.packets(), cfg.Seed)
+	exact := tr.FullCounts()
+	threshold := tasks.Threshold(tr.TotalPackets(), tasks.DefaultThresholdFraction)
+	masks := flowkey.EvaluationMasks()
+
+	systems := []System{
+		CocoSystem(core.DefaultArrays),
+		HardwareCocoSystem(core.DefaultArrays, "FPGA", nil),
+		HardwareCocoSystem(core.DefaultArrays, "P4", rmt.ApproxDivider{}),
+	}
+	memories := []int{500, 1000, 1500}
+	if cfg.Quick {
+		memories = []int{500, 1500}
+	}
+
+	out := &TableResult{
+		ID:      "fig18a",
+		Title:   "CocoSketch versions: heavy hitter F1 vs memory (6 keys)",
+		Columns: []string{"version", "memoryKB", "F1"},
+		Notes: []string{
+			"paper: basic beats hardware-friendly by <10%; FPGA and P4 differ by <1% (approximate division is benign)",
+		},
+	}
+	for _, sys := range systems {
+		name := sys.Name
+		if name == "Ours" {
+			name = "Basic"
+		}
+		for _, memKB := range memories {
+			inst := sys.New(masks, memKB*1024, cfg.Seed+29)
+			replay(inst, tr)
+			tables := inst.Tables()
+			var f1 float64
+			for i, m := range masks {
+				res, _ := hhScores(exact, m, tables[i], threshold)
+				f1 += res.F1
+			}
+			out.AddRow(name, memKB, f1/float64(len(masks)))
+		}
+	}
+	return out, nil
+}
+
+// runFig18b reproduces Figure 18(b): ARE on a 32-bit full key (SrcIP)
+// and its 24-bit prefix partial key, comparing CocoSketch against the
+// full-key-sketch strawmen of §2.3:
+//
+//	2*Elastic — one Elastic per key (the honest single-key approach);
+//	Lossy     — one full-key Elastic, partial key recovered by
+//	            aggregating only the heavy part's recorded flows;
+//	Full      — one full-key Elastic, partial key recovered by
+//	            querying all 256 possible hosts of each /24.
+func runFig18b(cfg RunConfig) (*TableResult, error) {
+	tr := trace.CAIDALike(cfg.packets(), cfg.Seed)
+	// Exact per-source counts and their /24 aggregation.
+	exactFull := make(map[flowkey.IPv4]uint64)
+	for i := range tr.Packets {
+		exactFull[flowkey.IPv4(tr.Packets[i].Key.SrcIP)]++
+	}
+	exactPartial := make(map[flowkey.IPv4]uint64)
+	for k, v := range exactFull {
+		exactPartial[k.Prefix(24)] += v
+	}
+
+	memory := 6 * 1024 * 1024
+	if cfg.Quick {
+		memory = 1024 * 1024
+	}
+
+	out := &TableResult{
+		ID:      "fig18b",
+		Title:   "Full-key sketch strawmen: ARE on SrcIP (full) and SrcIP/24 (partial)",
+		Columns: []string{"system", "ARE(full32)", "ARE(partial24)"},
+		Notes: []string{
+			"paper: Ours <0.02 on both; 2*Elastic ~0.3/0.3; Lossy ~0.14/0.94; Full ~0.14/>1",
+		},
+	}
+
+	// Ours: one CocoSketch on the 32-bit key, partial by aggregation.
+	coco := core.NewBasicForMemory[flowkey.IPv4](core.DefaultArrays, memory, cfg.Seed+31)
+	for i := range tr.Packets {
+		coco.Insert(flowkey.IPv4(tr.Packets[i].Key.SrcIP), 1)
+	}
+	cocoFull := coco.Decode()
+	cocoPartial := query.Aggregate(cocoFull, func(k flowkey.IPv4) flowkey.IPv4 { return k.Prefix(24) })
+	out.AddRow("Ours",
+		metrics.ARE(exactFull, func(k flowkey.IPv4) uint64 { return cocoFull[k] }),
+		metrics.ARE(exactPartial, func(k flowkey.IPv4) uint64 { return cocoPartial[k] }))
+
+	// 2*Elastic: one per key, half the memory each.
+	e32 := elastic.NewForMemory[flowkey.IPv4](memory/2, cfg.Seed+37)
+	e24 := elastic.NewForMemory[flowkey.IPv4](memory/2, cfg.Seed+41)
+	for i := range tr.Packets {
+		src := flowkey.IPv4(tr.Packets[i].Key.SrcIP)
+		e32.Insert(src, 1)
+		e24.Insert(src.Prefix(24), 1)
+	}
+	out.AddRow("2*Elastic",
+		metrics.ARE(exactFull, e32.Query),
+		metrics.ARE(exactPartial, e24.Query))
+
+	// Lossy and Full share a single full-key Elastic with all memory.
+	eFull := elastic.NewForMemory[flowkey.IPv4](memory, cfg.Seed+43)
+	for i := range tr.Packets {
+		eFull.Insert(flowkey.IPv4(tr.Packets[i].Key.SrcIP), 1)
+	}
+	fullARE := metrics.ARE(exactFull, eFull.Query)
+
+	lossyPartial := query.Aggregate(eFull.Decode(), func(k flowkey.IPv4) flowkey.IPv4 { return k.Prefix(24) })
+	out.AddRow("Lossy", fullARE,
+		metrics.ARE(exactPartial, func(k flowkey.IPv4) uint64 { return lossyPartial[k] }))
+
+	out.AddRow("Full", fullARE,
+		metrics.ARE(exactPartial, func(k flowkey.IPv4) uint64 {
+			base := k.Prefix(24).Uint32()
+			var sum uint64
+			for h := uint32(0); h < 256; h++ {
+				sum += eFull.Query(flowkey.IPv4FromUint32(base | h))
+			}
+			return sum
+		}))
+	return out, nil
+}

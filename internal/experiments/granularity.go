@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"cocosketch/internal/baselines/rhhh"
+	"cocosketch/internal/core"
+	"cocosketch/internal/flowkey"
+	"cocosketch/internal/metrics"
+	"cocosketch/internal/tasks"
+	"cocosketch/internal/trace"
+)
+
+func init() {
+	register("ext-hhh-granularity", runHHHGranularity)
+}
+
+// runHHHGranularity ablates the 1-d HHH hierarchy granularity: the
+// paper's bit-level hierarchy (33 levels) against the byte-level
+// hierarchy (5 levels) that R-HHH deployments often use for speed.
+// For CocoSketch the granularity only changes the query-time
+// aggregation — the data plane is identical — while for R-HHH it
+// changes how thin the per-level memory is sliced.
+func runHHHGranularity(cfg RunConfig) (*TableResult, error) {
+	tr := trace.CAIDALike(cfg.packets(), cfg.Seed)
+	exact := make(map[flowkey.IPv4]uint64)
+	for i := range tr.Packets {
+		exact[flowkey.IPv4(tr.Packets[i].Key.SrcIP)]++
+	}
+	threshold := tasks.Threshold(tr.TotalPackets(), hhhThresholdFraction)
+	const memKB = 500
+
+	bitLengths := make([]int, 0, tasks.HierarchyDepth1D)
+	for p := 32; p >= 0; p-- {
+		bitLengths = append(bitLengths, p)
+	}
+	byteLengths := tasks.ByteLengths1D()
+
+	out := &TableResult{
+		ID:      "ext-hhh-granularity",
+		Title:   "1-d HHH: bit (33-level) vs byte (5-level) hierarchy at 500KB",
+		Columns: []string{"algorithm", "granularity", "F1"},
+		Notes: []string{
+			"extension ablation: CocoSketch's data plane is granularity-agnostic; R-HHH must split memory per level",
+		},
+	}
+
+	score := func(estLevels map[int]map[flowkey.IPv4]uint64, lengths []int) float64 {
+		truthLevels := tasks.Levels1DGranularFromCounts(exact, lengths)
+		truth := tasks.ExtractHHHAtLengths(truthLevels, lengths, threshold)
+		reported := tasks.ExtractHHHAtLengths(estLevels, lengths, threshold)
+		return metrics.Compare(truth, reported).F1
+	}
+
+	// CocoSketch: one sketch; aggregate its decode at each granularity.
+	coco := core.NewBasicForMemory[flowkey.IPv4](core.DefaultArrays, memKB*1024, cfg.Seed+3)
+	for i := range tr.Packets {
+		coco.Insert(flowkey.IPv4(tr.Packets[i].Key.SrcIP), 1)
+	}
+	decoded := coco.Decode()
+	for _, gr := range []struct {
+		name    string
+		lengths []int
+	}{{"bit", bitLengths}, {"byte", byteLengths}} {
+		est := tasks.Levels1DGranularFromCounts(decoded, gr.lengths)
+		out.AddRow("Ours", gr.name, score(est, gr.lengths))
+	}
+
+	// R-HHH at bit granularity (its standard form here).
+	rb := rhhh.NewOneD(memKB*1024, cfg.Seed+5)
+	for i := range tr.Packets {
+		rb.Insert(flowkey.IPv4(tr.Packets[i].Key.SrcIP), 1)
+	}
+	estBit := make(map[int]map[flowkey.IPv4]uint64, len(bitLengths))
+	for _, p := range bitLengths {
+		estBit[p] = rb.Level(p)
+	}
+	out.AddRow("RHHH", "bit", score(estBit, bitLengths))
+
+	return out, nil
+}

@@ -1,0 +1,292 @@
+package flowkey
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func randomTuple(src, dst uint32, sp, dp uint16, proto uint8) FiveTuple {
+	return FiveTuple{
+		SrcIP:   IPv4FromUint32(src),
+		DstIP:   IPv4FromUint32(dst),
+		SrcPort: sp, DstPort: dp, Proto: proto,
+	}
+}
+
+func TestFiveTupleRoundTrip(t *testing.T) {
+	f := func(src, dst uint32, sp, dp uint16, proto uint8) bool {
+		k := randomTuple(src, dst, sp, dp, proto)
+		b := k.AppendBytes(nil)
+		if len(b) != FiveTupleLen {
+			return false
+		}
+		k2, err := FiveTupleFromBytes(b)
+		return err == nil && k2 == k
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFiveTupleFromBytesRejectsBadLength(t *testing.T) {
+	if _, err := FiveTupleFromBytes(make([]byte, 12)); err == nil {
+		t.Fatal("accepted 12-byte encoding")
+	}
+	if _, err := FiveTupleFromBytes(make([]byte, 14)); err == nil {
+		t.Fatal("accepted 14-byte encoding")
+	}
+}
+
+func TestFiveTupleHashMatchesEncoding(t *testing.T) {
+	// Hash must be a pure function of the canonical encoding.
+	f := func(src, dst uint32, sp, dp uint16, proto uint8, seed uint32) bool {
+		k := randomTuple(src, dst, sp, dp, proto)
+		k2, _ := FiveTupleFromBytes(k.AppendBytes(nil))
+		return k.Hash(seed) == k2.Hash(seed)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIPv4Prefix(t *testing.T) {
+	k := IPv4{192, 168, 213, 77}
+	cases := []struct {
+		bits int
+		want IPv4
+	}{
+		{32, IPv4{192, 168, 213, 77}},
+		{24, IPv4{192, 168, 213, 0}},
+		{16, IPv4{192, 168, 0, 0}},
+		{9, IPv4{192, 128, 0, 0}},
+		{8, IPv4{192, 0, 0, 0}},
+		{1, IPv4{128, 0, 0, 0}},
+		{0, IPv4{}},
+	}
+	for _, c := range cases {
+		if got := k.Prefix(c.bits); got != c.want {
+			t.Errorf("Prefix(%d) = %v, want %v", c.bits, got, c.want)
+		}
+	}
+}
+
+func TestIPv4PrefixMonotone(t *testing.T) {
+	// A longer prefix refines a shorter one: Prefix(a).Prefix(b) ==
+	// Prefix(min(a,b)).
+	f := func(addr uint32, a, b uint8) bool {
+		pa, pb := int(a%33), int(b%33)
+		k := IPv4FromUint32(addr)
+		got := k.Prefix(pa).Prefix(pb)
+		want := k.Prefix(min(pa, pb))
+		return got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIPv4PrefixPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Prefix(33) did not panic")
+		}
+	}()
+	IPv4{}.Prefix(33)
+}
+
+func TestIPv4Uint32RoundTrip(t *testing.T) {
+	f := func(v uint32) bool { return IPv4FromUint32(v).Uint32() == v }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaskApplyIdentity(t *testing.T) {
+	f := func(src, dst uint32, sp, dp uint16, proto uint8) bool {
+		k := randomTuple(src, dst, sp, dp, proto)
+		return MaskAll().Apply(k) == k
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaskApplyIdempotent(t *testing.T) {
+	// g(g(k)) == g(k) for every mask: masks are projections.
+	masks := EvaluationMasks()
+	masks = append(masks,
+		MaskFields(FieldSrcIP).WithPrefix(FieldSrcIP, 17),
+		MaskFields(FieldProto),
+		Mask{},
+	)
+	f := func(src, dst uint32, sp, dp uint16, proto uint8, which uint8) bool {
+		m := masks[int(which)%len(masks)]
+		k := randomTuple(src, dst, sp, dp, proto)
+		p := m.Apply(k)
+		return m.Apply(p) == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaskApplyFields(t *testing.T) {
+	k := randomTuple(0xC0A80101, 0x0A000002, 443, 8080, 6)
+	got := MaskFields(FieldSrcIP, FieldDstIP).Apply(k)
+	want := FiveTuple{SrcIP: k.SrcIP, DstIP: k.DstIP}
+	if got != want {
+		t.Fatalf("MaskFields(SrcIP,DstIP).Apply = %+v, want %+v", got, want)
+	}
+
+	got = MaskFields(FieldSrcIP).WithPrefix(FieldSrcIP, 24).Apply(k)
+	want = FiveTuple{SrcIP: [4]byte{192, 168, 1, 0}}
+	if got != want {
+		t.Fatalf("SrcIP/24 Apply = %+v, want %+v", got, want)
+	}
+
+	got = MaskFields(FieldSrcPort).WithPrefix(FieldSrcPort, 8).Apply(k)
+	want = FiveTuple{SrcPort: 443 &^ 0xFF}
+	if got != want {
+		t.Fatalf("SrcPort/8 Apply = %+v, want %+v", got, want)
+	}
+}
+
+func TestMaskRefinement(t *testing.T) {
+	// If two full keys agree under a finer mask they agree under any
+	// coarser mask on the same fields (prefix hierarchy property used by
+	// HHH detection).
+	f := func(src1, src2 uint32, bits uint8) bool {
+		b := int(bits % 32)
+		fine := MaskFields(FieldSrcIP).WithPrefix(FieldSrcIP, b+1)
+		coarse := MaskFields(FieldSrcIP).WithPrefix(FieldSrcIP, b)
+		k1 := FiveTuple{SrcIP: IPv4FromUint32(src1)}
+		k2 := FiveTuple{SrcIP: IPv4FromUint32(src2)}
+		if fine.Apply(k1) == fine.Apply(k2) {
+			return coarse.Apply(k1) == coarse.Apply(k2)
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvaluationMasks(t *testing.T) {
+	ms := EvaluationMasks()
+	if len(ms) != 6 {
+		t.Fatalf("want 6 evaluation masks, got %d", len(ms))
+	}
+	if !ms[0].IsFull() {
+		t.Error("first evaluation mask must be the full key")
+	}
+	seen := make(map[Mask]bool)
+	for _, m := range ms {
+		if seen[m] {
+			t.Errorf("duplicate mask %v", m)
+		}
+		seen[m] = true
+	}
+	if got := ms[1].String(); got != "SrcIP+DstIP" {
+		t.Errorf("mask string = %q, want SrcIP+DstIP", got)
+	}
+}
+
+func TestMaskString(t *testing.T) {
+	if got := (Mask{}).String(); got != "(empty)" {
+		t.Errorf("empty mask String() = %q", got)
+	}
+	m := MaskFields(FieldSrcIP).WithPrefix(FieldSrcIP, 24)
+	if got := m.String(); got != "SrcIP/24" {
+		t.Errorf("String() = %q, want SrcIP/24", got)
+	}
+}
+
+func TestIPPairPrefix(t *testing.T) {
+	p := IPPair{Src: IPv4{10, 1, 2, 3}, Dst: IPv4{172, 16, 5, 9}}
+	got := p.Prefix(8, 16)
+	want := IPPair{Src: IPv4{10, 0, 0, 0}, Dst: IPv4{172, 16, 0, 0}}
+	if got != want {
+		t.Fatalf("Prefix(8,16) = %v, want %v", got, want)
+	}
+}
+
+func TestKeyStringFormats(t *testing.T) {
+	k := randomTuple(0xC0A80101, 0x0A000002, 443, 8080, 6)
+	if got := k.String(); got != "192.168.1.1:443->10.0.0.2:8080/6" {
+		t.Errorf("FiveTuple.String() = %q", got)
+	}
+	if got := (IPv4{1, 2, 3, 4}).String(); got != "1.2.3.4" {
+		t.Errorf("IPv4.String() = %q", got)
+	}
+}
+
+func TestIPv6Prefix(t *testing.T) {
+	k := flowkeyIPv6(0xFF)
+	cases := []struct {
+		bits     int
+		wantByte byte // value of the byte containing the boundary
+		idx      int
+	}{
+		{128, 0xFF, 15},
+		{120, 0x00, 15},
+		{12, 0xF0, 1},
+		{8, 0xFF, 0},
+		{0, 0x00, 0},
+	}
+	for _, c := range cases {
+		got := k.Prefix(c.bits)
+		if c.bits == 0 {
+			if got != (IPv6{}) {
+				t.Errorf("Prefix(0) = %v", got)
+			}
+			continue
+		}
+		if got[c.idx] != c.wantByte {
+			t.Errorf("Prefix(%d)[%d] = %#x, want %#x", c.bits, c.idx, got[c.idx], c.wantByte)
+		}
+	}
+}
+
+func flowkeyIPv6(fill byte) IPv6 {
+	var k IPv6
+	for i := range k {
+		k[i] = fill
+	}
+	return k
+}
+
+func TestIPv6RoundTrip(t *testing.T) {
+	k := flowkeyIPv6(0xAB)
+	b := k.AppendBytes(nil)
+	if len(b) != 16 {
+		t.Fatalf("encoding length %d", len(b))
+	}
+	back, err := IPv6FromBytes(b)
+	if err != nil || back != k {
+		t.Fatalf("round trip failed: %v %v", back, err)
+	}
+	if _, err := IPv6FromBytes(b[:15]); err == nil {
+		t.Fatal("short encoding accepted")
+	}
+}
+
+func TestIPv6PrefixMonotone(t *testing.T) {
+	f := func(raw [16]byte, a, b uint8) bool {
+		k := IPv6(raw)
+		pa, pb := int(a)%129, int(b)%129
+		return k.Prefix(pa).Prefix(pb) == k.Prefix(min(pa, pb))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashDiffersAcrossKeyTypes(t *testing.T) {
+	// IPv4 and IPPair with overlapping bytes should not systematically
+	// collide with FiveTuple hashes (sanity of per-type encodings).
+	ip := IPv4{1, 2, 3, 4}
+	pair := IPPair{Src: ip, Dst: ip}
+	if ip.Hash(1) == pair.Hash(1) {
+		t.Skip("single collision is possible but unexpected; rerun")
+	}
+}

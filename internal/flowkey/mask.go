@@ -1,0 +1,167 @@
+package flowkey
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Field identifies one field of the 5-tuple.
+type Field uint8
+
+// Fields of the 5-tuple, in canonical encoding order.
+const (
+	FieldSrcIP Field = iota
+	FieldDstIP
+	FieldSrcPort
+	FieldDstPort
+	FieldProto
+	numFields
+)
+
+func (f Field) String() string {
+	switch f {
+	case FieldSrcIP:
+		return "SrcIP"
+	case FieldDstIP:
+		return "DstIP"
+	case FieldSrcPort:
+		return "SrcPort"
+	case FieldDstPort:
+		return "DstPort"
+	case FieldProto:
+		return "Proto"
+	}
+	return fmt.Sprintf("Field(%d)", uint8(f))
+}
+
+// fieldBits is the width in bits of each field.
+var fieldBits = [numFields]int{32, 32, 16, 16, 8}
+
+// Mask selects a partial key of the 5-tuple: for every field it keeps a
+// leading prefix of bits (the full width keeps the whole field, zero
+// drops it). Mask implements the mapping g(·) of Definition 1, and the
+// masked FiveTuple is the partial-key flow identifier.
+//
+// Mask is comparable, so it can be used as a map key when enumerating
+// many partial keys (e.g. HHH hierarchies).
+type Mask struct {
+	// Bits[f] is the number of leading bits of field f retained.
+	Bits [numFields]uint8
+}
+
+// MaskAll returns the identity mask (the full key itself).
+func MaskAll() Mask {
+	var m Mask
+	for f := Field(0); f < numFields; f++ {
+		m.Bits[f] = uint8(fieldBits[f])
+	}
+	return m
+}
+
+// MaskFields retains exactly the given whole fields.
+func MaskFields(fields ...Field) Mask {
+	var m Mask
+	for _, f := range fields {
+		if f >= numFields {
+			panic("flowkey: unknown field")
+		}
+		m.Bits[f] = uint8(fieldBits[f])
+	}
+	return m
+}
+
+// WithPrefix returns a copy of m retaining only the leading bits of field f.
+func (m Mask) WithPrefix(f Field, bits int) Mask {
+	if f >= numFields {
+		panic("flowkey: unknown field")
+	}
+	if bits < 0 || bits > fieldBits[f] {
+		panic(fmt.Sprintf("flowkey: prefix %d out of range for %s", bits, f))
+	}
+	m.Bits[f] = uint8(bits)
+	return m
+}
+
+// Apply maps a full key to its partial key under the mask by zeroing all
+// dropped bits. Apply is the mapping g of Definition 1: distinct full
+// keys with equal masked values belong to the same partial-key flow.
+func (m Mask) Apply(k FiveTuple) FiveTuple {
+	var out FiveTuple
+	out.SrcIP = maskBytes4(k.SrcIP, int(m.Bits[FieldSrcIP]))
+	out.DstIP = maskBytes4(k.DstIP, int(m.Bits[FieldDstIP]))
+	out.SrcPort = k.SrcPort & mask16(int(m.Bits[FieldSrcPort]))
+	out.DstPort = k.DstPort & mask16(int(m.Bits[FieldDstPort]))
+	out.Proto = k.Proto & mask8(int(m.Bits[FieldProto]))
+	return out
+}
+
+// IsFull reports whether the mask retains every bit of the full key.
+func (m Mask) IsFull() bool { return m == MaskAll() }
+
+// String renders the mask, e.g. "SrcIP/24+DstIP".
+func (m Mask) String() string {
+	var parts []string
+	for f := Field(0); f < numFields; f++ {
+		b := int(m.Bits[f])
+		switch {
+		case b == 0:
+		case b == fieldBits[f]:
+			parts = append(parts, f.String())
+		default:
+			parts = append(parts, fmt.Sprintf("%s/%d", f, b))
+		}
+	}
+	if len(parts) == 0 {
+		return "(empty)"
+	}
+	return strings.Join(parts, "+")
+}
+
+func maskBytes4(b [4]byte, bits int) [4]byte {
+	var out [4]byte
+	if bits <= 0 {
+		return out
+	}
+	if bits >= 32 {
+		return b
+	}
+	m := ^uint32(0) << (32 - uint(bits))
+	v := uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+	v &= m
+	out[0], out[1], out[2], out[3] = byte(v>>24), byte(v>>16), byte(v>>8), byte(v)
+	return out
+}
+
+func mask16(bits int) uint16 {
+	if bits <= 0 {
+		return 0
+	}
+	if bits >= 16 {
+		return ^uint16(0)
+	}
+	return ^uint16(0) << (16 - uint(bits))
+}
+
+func mask8(bits int) uint8 {
+	if bits <= 0 {
+		return 0
+	}
+	if bits >= 8 {
+		return ^uint8(0)
+	}
+	return ^uint8(0) << (8 - uint(bits))
+}
+
+// EvaluationMasks returns the six partial keys measured throughout §7 of
+// the paper, in the order they are added as "number of keys" grows:
+// 5-tuple, (SrcIP,DstIP), (SrcIP,SrcPort), (DstIP,DstPort), SrcIP, DstIP.
+func EvaluationMasks() []Mask {
+	return []Mask{
+		MaskAll(),
+		MaskFields(FieldSrcIP, FieldDstIP),
+		MaskFields(FieldSrcIP, FieldSrcPort),
+		MaskFields(FieldDstIP, FieldDstPort),
+		MaskFields(FieldSrcIP),
+		MaskFields(FieldDstIP),
+	}
+}

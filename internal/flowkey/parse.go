@@ -1,0 +1,61 @@
+package flowkey
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseMask parses the textual mask syntax produced by Mask.String:
+// '+'-separated field terms, each optionally carrying a prefix length,
+// e.g. "SrcIP/24+DstIP", "5-tuple" (alias for the full key), "SrcIP".
+// Field names are case-insensitive.
+func ParseMask(s string) (Mask, error) {
+	s = strings.TrimSpace(s)
+	if s == "" || strings.EqualFold(s, "(empty)") {
+		return Mask{}, nil
+	}
+	if strings.EqualFold(s, "5-tuple") || strings.EqualFold(s, "all") {
+		return MaskAll(), nil
+	}
+	var m Mask
+	for _, term := range strings.Split(s, "+") {
+		term = strings.TrimSpace(term)
+		name, prefix, hasPrefix := strings.Cut(term, "/")
+		f, err := parseField(name)
+		if err != nil {
+			return Mask{}, err
+		}
+		bits := fieldBits[f]
+		if hasPrefix {
+			bits, err = strconv.Atoi(prefix)
+			if err != nil {
+				return Mask{}, fmt.Errorf("flowkey: bad prefix %q in %q", prefix, term)
+			}
+			if bits < 0 || bits > fieldBits[f] {
+				return Mask{}, fmt.Errorf("flowkey: prefix /%d out of range for %s", bits, f)
+			}
+		}
+		if m.Bits[f] != 0 {
+			return Mask{}, fmt.Errorf("flowkey: field %s repeated", f)
+		}
+		m.Bits[f] = uint8(bits)
+	}
+	return m, nil
+}
+
+func parseField(name string) (Field, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "srcip", "sip", "src":
+		return FieldSrcIP, nil
+	case "dstip", "dip", "dst":
+		return FieldDstIP, nil
+	case "srcport", "sport":
+		return FieldSrcPort, nil
+	case "dstport", "dport":
+		return FieldDstPort, nil
+	case "proto", "protocol":
+		return FieldProto, nil
+	}
+	return 0, fmt.Errorf("flowkey: unknown field %q", name)
+}

@@ -1,0 +1,191 @@
+package fpga
+
+import "fmt"
+
+// Cycle-level simulation of the FPGA update path, complementing the
+// analytic model in fpga.go. It reproduces §6.1's implementation facts
+// — "accessing one BRAM tile needs two cycles … we pipeline all the
+// key/value memory accesses" — and measures, rather than assumes, the
+// initiation-interval gap between the hardware-friendly and the basic
+// designs:
+//
+//   - hardware-friendly: every array's read→modify→write is pipelined
+//     with read-after-write forwarding, so a new packet issues every
+//     cycle (II = 1) regardless of bucket collisions;
+//   - basic (circular dependencies): the cross-bucket minimum and the
+//     key↔value coupling force each packet to wait for the previous
+//     packet's full round trip over all d arrays.
+
+// BRAMReadLatency is the per-tile access latency in cycles (§6.1).
+const BRAMReadLatency = 2
+
+// bram is one dual-cycle memory with an in-flight write queue.
+type bram struct {
+	data    []uint64
+	pending []pendingWrite
+}
+
+type pendingWrite struct {
+	retireCycle int
+	addr        int
+	val         uint64
+}
+
+func newBRAM(size int) *bram { return &bram{data: make([]uint64, size)} }
+
+// readAt models a read issued at cycle c returning the value visible
+// at c (writes retire into the array when their cycle passes).
+func (m *bram) readAt(c, addr int) uint64 {
+	m.retire(c)
+	v := m.data[addr]
+	for _, w := range m.pending {
+		if w.addr == addr {
+			// Most recent in-flight write wins (forwarding network).
+			v = w.val
+		}
+	}
+	return v
+}
+
+// readRaw reads without forwarding: in-flight writes are invisible —
+// the hazard a naive (non-forwarded) design would hit.
+func (m *bram) readRaw(c, addr int) uint64 {
+	m.retire(c)
+	return m.data[addr]
+}
+
+func (m *bram) writeAt(c, addr int, v uint64) {
+	m.retire(c)
+	m.pending = append(m.pending, pendingWrite{retireCycle: c + BRAMReadLatency, addr: addr, val: v})
+}
+
+func (m *bram) retire(c int) {
+	kept := m.pending[:0]
+	for _, w := range m.pending {
+		if w.retireCycle <= c {
+			m.data[w.addr] = w.val
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	m.pending = kept
+}
+
+// flush retires everything (end of stream).
+func (m *bram) flush() {
+	for _, w := range m.pending {
+		m.data[w.addr] = w.val
+	}
+	m.pending = nil
+}
+
+// LaneSim simulates the value path of a d-array CocoSketch on FPGA.
+// Keys are abstracted to bucket indices (hashing happens upstream);
+// the quantity of interest is cycle behaviour, while counter
+// correctness is asserted against a golden model.
+type LaneSim struct {
+	d     int
+	l     int
+	banks []*bram
+}
+
+// NewLaneSim builds a d×l value memory.
+func NewLaneSim(d, l int) *LaneSim {
+	if d <= 0 || l <= 0 {
+		panic("fpga: d and l must be positive")
+	}
+	s := &LaneSim{d: d, l: l}
+	for i := 0; i < d; i++ {
+		s.banks = append(s.banks, newBRAM(l))
+	}
+	return s
+}
+
+// Counter returns a bank's counter value after a run.
+func (s *LaneSim) Counter(bank, addr int) uint64 {
+	s.banks[bank].flush()
+	return s.banks[bank].data[addr]
+}
+
+// RunPipelined processes packets (bucket indices per array) with full
+// pipelining and read-after-write forwarding: one packet issues per
+// cycle. It returns total cycles and the achieved initiation interval.
+func (s *LaneSim) RunPipelined(idx [][]int) (cycles int, ii float64, err error) {
+	if err := s.check(idx); err != nil {
+		return 0, 0, err
+	}
+	n := len(idx)
+	c := 0
+	for p := 0; p < n; p++ {
+		// All d lanes operate in parallel in the same cycle slot.
+		for i := 0; i < s.d; i++ {
+			a := idx[p][i]
+			v := s.banks[i].readAt(c, a) // forwarded read
+			s.banks[i].writeAt(c+BRAMReadLatency, a, v+1)
+		}
+		c++ // next packet issues on the next cycle
+	}
+	total := c + BRAMReadLatency + 2 // drain the pipe (read + write back)
+	for _, b := range s.banks {
+		b.flush()
+	}
+	return total, float64(total-BRAMReadLatency-2) / float64(n), nil
+}
+
+// RunSerialized processes packets the way a naive basic-CocoSketch port
+// must: each packet reads its d buckets (sequential dependent BRAM
+// round trips feeding the minimum selection), computes the decision,
+// writes back, and only then may the next packet issue.
+func (s *LaneSim) RunSerialized(idx [][]int) (cycles int, ii float64, err error) {
+	if err := s.check(idx); err != nil {
+		return 0, 0, err
+	}
+	n := len(idx)
+	c := 0
+	for p := 0; p < n; p++ {
+		minBank, minAddr := 0, idx[p][0]
+		var minVal uint64 = ^uint64(0)
+		for i := 0; i < s.d; i++ {
+			a := idx[p][i]
+			v := s.banks[i].readRaw(c, a)
+			c += BRAMReadLatency // dependent round trip per array
+			if v < minVal {
+				minVal, minBank, minAddr = v, i, a
+			}
+		}
+		c++ // minimum + probability decision
+		s.banks[minBank].writeAt(c, minAddr, minVal+1)
+		c += 2 // write completes before the next packet may read
+	}
+	for _, b := range s.banks {
+		b.flush()
+	}
+	return c, float64(c) / float64(n), nil
+}
+
+func (s *LaneSim) check(idx [][]int) error {
+	for p := range idx {
+		if len(idx[p]) != s.d {
+			return fmt.Errorf("fpga: packet %d has %d indices, want %d", p, len(idx[p]), s.d)
+		}
+		for _, a := range idx[p] {
+			if a < 0 || a >= s.l {
+				return fmt.Errorf("fpga: packet %d index %d out of range", p, a)
+			}
+		}
+	}
+	return nil
+}
+
+// HazardDemo runs the pipelined design WITHOUT forwarding on a stream
+// hitting one bucket back-to-back and returns how many increments are
+// lost — the correctness bug forwarding exists to prevent.
+func HazardDemo(n int) (lost uint64) {
+	m := newBRAM(1)
+	for c := 0; c < n; c++ {
+		v := m.readRaw(c, 0) // sees stale value during in-flight writes
+		m.writeAt(c, 0, v+1)
+	}
+	m.flush()
+	return uint64(n) - m.data[0]
+}

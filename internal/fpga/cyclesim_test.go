@@ -1,0 +1,163 @@
+package fpga
+
+import (
+	"testing"
+
+	"cocosketch/internal/xrand"
+)
+
+// randomIndices builds n packets of d bucket indices over l buckets.
+func randomIndices(n, d, l int, seed uint64) [][]int {
+	rng := xrand.New(seed)
+	out := make([][]int, n)
+	for p := range out {
+		out[p] = make([]int, d)
+		for i := range out[p] {
+			out[p][i] = rng.Intn(l)
+		}
+	}
+	return out
+}
+
+func TestPipelinedIIOne(t *testing.T) {
+	s := NewLaneSim(2, 256)
+	idx := randomIndices(10000, 2, 256, 1)
+	_, ii, err := s.RunPipelined(idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ii != 1 {
+		t.Fatalf("pipelined II = %.3f, want 1", ii)
+	}
+}
+
+func TestSerializedIIMatchesDependencyChain(t *testing.T) {
+	const d = 2
+	s := NewLaneSim(d, 256)
+	idx := randomIndices(5000, d, 256, 2)
+	_, ii, err := s.RunSerialized(idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(BRAMReadLatency*d + 3) // reads + decision + writeback
+	if ii != want {
+		t.Fatalf("serialized II = %.3f, want %.1f", ii, want)
+	}
+}
+
+func TestCycleGapGrowsWithD(t *testing.T) {
+	gap := func(d int) float64 {
+		sp := NewLaneSim(d, 128)
+		ss := NewLaneSim(d, 128)
+		idx := randomIndices(2000, d, 128, 3)
+		_, ip, _ := sp.RunPipelined(idx)
+		_, is, _ := ss.RunSerialized(idx)
+		return is / ip
+	}
+	if g2, g4 := gap(2), gap(4); g4 <= g2 {
+		t.Fatalf("serialization penalty should grow with d: %.2f vs %.2f", g2, g4)
+	}
+	// The d=2 gap is the ~5x–7x regime of §7.4.
+	if g := gap(2); g < 4 || g > 8 {
+		t.Fatalf("d=2 cycle gap = %.2f, want the ~5x regime", g)
+	}
+}
+
+func TestBothModesCountCorrectly(t *testing.T) {
+	// Same stream, heavy same-bucket pressure. The pipelined design
+	// implements the hardware-friendly update (every array increments)
+	// and must match an increment-all golden model; the serialized
+	// design implements the basic update (only the minimum bucket
+	// increments) and must match a min-increment golden model.
+	const d, l, n = 2, 8, 20000
+	idx := randomIndices(n, d, l, 4)
+
+	goldenAll := make([][]uint64, d)
+	goldenMin := make([][]uint64, d)
+	for i := 0; i < d; i++ {
+		goldenAll[i] = make([]uint64, l)
+		goldenMin[i] = make([]uint64, l)
+	}
+	for _, pkt := range idx {
+		minBank, minAddr := 0, pkt[0]
+		var minVal uint64 = ^uint64(0)
+		for i, a := range pkt {
+			goldenAll[i][a]++
+			if goldenMin[i][a] < minVal {
+				minVal, minBank, minAddr = goldenMin[i][a], i, a
+			}
+		}
+		goldenMin[minBank][minAddr]++
+	}
+
+	pipe := NewLaneSim(d, l)
+	if _, _, err := pipe.RunPipelined(idx); err != nil {
+		t.Fatal(err)
+	}
+	ser := NewLaneSim(d, l)
+	if _, _, err := ser.RunSerialized(idx); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < d; i++ {
+		for a := 0; a < l; a++ {
+			if got := pipe.Counter(i, a); got != goldenAll[i][a] {
+				t.Fatalf("pipelined counter (%d,%d) = %d, want %d", i, a, got, goldenAll[i][a])
+			}
+			if got := ser.Counter(i, a); got != goldenMin[i][a] {
+				t.Fatalf("serialized counter (%d,%d) = %d, want %d", i, a, got, goldenMin[i][a])
+			}
+		}
+	}
+}
+
+func TestHazardDemoLosesUpdates(t *testing.T) {
+	// Without forwarding, back-to-back same-bucket packets read stale
+	// values and increments are lost — the bug §6.1's pipelining
+	// discipline (and our forwarding model) exists to prevent.
+	if lost := HazardDemo(1000); lost == 0 {
+		t.Fatal("non-forwarded design lost no updates; hazard model broken")
+	}
+	pipe := NewLaneSim(1, 1)
+	idx := make([][]int, 1000)
+	for i := range idx {
+		idx[i] = []int{0}
+	}
+	if _, _, err := pipe.RunPipelined(idx); err != nil {
+		t.Fatal(err)
+	}
+	if got := pipe.Counter(0, 0); got != 1000 {
+		t.Fatalf("forwarded pipeline lost updates: %d/1000", got)
+	}
+}
+
+func TestLaneSimValidation(t *testing.T) {
+	s := NewLaneSim(2, 8)
+	if _, _, err := s.RunPipelined([][]int{{1}}); err == nil {
+		t.Fatal("wrong index arity accepted")
+	}
+	if _, _, err := s.RunPipelined([][]int{{1, 99}}); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad geometry did not panic")
+		}
+	}()
+	NewLaneSim(0, 8)
+}
+
+func BenchmarkCycleSim(b *testing.B) {
+	idx := randomIndices(100000, 2, 4096, 1)
+	b.Run("pipelined", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := NewLaneSim(2, 4096)
+			_, _, _ = s.RunPipelined(idx)
+		}
+	})
+	b.Run("serialized", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := NewLaneSim(2, 4096)
+			_, _, _ = s.RunSerialized(idx)
+		}
+	})
+}

@@ -1,0 +1,155 @@
+// Package fpga models a Xilinx Alveo U280-class FPGA for the paper's
+// hardware experiments: an analytic pipeline model producing throughput
+// (Figure 15(b)) and a structural resource model producing LUT /
+// register / Block-RAM usage (Figure 15(c)).
+//
+// The model captures the two effects the paper measures:
+//
+//   - Pipelining: the hardware-friendly CocoSketch has no circular
+//     dependencies, so key/value memory accesses pipeline fully
+//     (initiation interval 1). The basic CocoSketch must serialize
+//     d reads, a global minimum, a probability draw and a conditional
+//     write-back per packet, giving II > 1 and a lower achievable
+//     clock — the ~5× throughput gap of §7.4.
+//   - BRAM cascading: larger sketch memories cascade more BRAM tiles
+//     per port, lengthening the critical path and lowering the clock.
+package fpga
+
+import "math"
+
+// U280 capacity constants (Alveo U280 data sheet figures).
+const (
+	TotalLUTs      = 1303680
+	TotalRegisters = 2607360
+	TotalBRAMTiles = 2016 // 36 Kb tiles
+	BRAMTileBytes  = 4608 // 36 Kb
+)
+
+// Clock model constants, calibrated so the hardware-friendly
+// CocoSketch reaches ≈150 Mpps at 2 MB and ≈280 Mpps at 0.25 MB as in
+// Figure 15(b).
+const (
+	baseClockMHz    = 400.0
+	cascadeRefBytes = 128 * 1024 // no penalty at or below 128 KB
+	cascadePenalty  = 0.40       // per doubling beyond the reference
+)
+
+// Design is a synthesized dataplane design with its performance and
+// resource figures.
+type Design struct {
+	Name string
+	// MemoryBytes is the sketch state held in BRAM.
+	MemoryBytes int
+	// II is the initiation interval: cycles between packet issues.
+	II float64
+	// ClockMHz is the achievable clock after cascading penalties.
+	ClockMHz float64
+	// LUTs, Registers, BRAMTiles are absolute resource counts.
+	LUTs      float64
+	Registers float64
+	BRAMTiles float64
+}
+
+// ThroughputMpps is packets per second: clock / II.
+func (d Design) ThroughputMpps() float64 { return d.ClockMHz / d.II }
+
+// LUTFraction is the share of device LUTs.
+func (d Design) LUTFraction() float64 { return d.LUTs / TotalLUTs }
+
+// RegisterFraction is the share of device registers.
+func (d Design) RegisterFraction() float64 { return d.Registers / TotalRegisters }
+
+// BRAMFraction is the share of device BRAM tiles.
+func (d Design) BRAMFraction() float64 { return d.BRAMTiles / TotalBRAMTiles }
+
+// clockMHz applies the BRAM cascading penalty to the base clock.
+func clockMHz(memoryBytes int) float64 {
+	if memoryBytes <= cascadeRefBytes {
+		return baseClockMHz
+	}
+	doublings := math.Log2(float64(memoryBytes) / float64(cascadeRefBytes))
+	return baseClockMHz / (1 + cascadePenalty*doublings)
+}
+
+func bramTiles(memoryBytes int) float64 {
+	return math.Ceil(float64(memoryBytes) / BRAMTileBytes)
+}
+
+// Per-component structural costs (LUTs / registers per instance).
+// A hash unit is a Bob-hash round; a lane is one array's key+value
+// update path (comparator, adder, probability compare).
+const (
+	lutsPerHashUnit = 900
+	ffPerHashUnit   = 1100
+	lutsPerLane     = 1400
+	ffPerLane       = 1700
+	lutsPerRNG      = 350
+	ffPerRNG        = 500
+	// The basic variant's min-selection tree and feedback network.
+	lutsMinTreePerLane = 2600
+	ffMinTreePerLane   = 5200
+)
+
+// HardwareCoco models the hardware-friendly CocoSketch (§4.2): d
+// independent lanes, fully pipelined (II = 1).
+func HardwareCoco(d int, memoryBytes int) Design {
+	if d <= 0 {
+		panic("fpga: d must be positive")
+	}
+	return Design{
+		Name:        "CocoSketch-HW",
+		MemoryBytes: memoryBytes,
+		II:          1,
+		ClockMHz:    clockMHz(memoryBytes),
+		LUTs:        float64(d)*(lutsPerHashUnit+lutsPerLane) + lutsPerRNG,
+		Registers:   float64(d)*(ffPerHashUnit+ffPerLane) + ffPerRNG,
+		BRAMTiles:   bramTiles(memoryBytes),
+	}
+}
+
+// BasicCoco models a naive FPGA port of the basic CocoSketch: the
+// cross-bucket minimum and the key↔value coupling serialize the
+// per-packet update. Each BRAM access takes two cycles (§6.1); the
+// packet must read d buckets, resolve the minimum, draw the
+// replacement, and write back before the next packet can issue.
+func BasicCoco(d int, memoryBytes int) Design {
+	if d <= 0 {
+		panic("fpga: d must be positive")
+	}
+	// 2 cycles per dependent BRAM read + 1 min + 1 prob + 1 writeback.
+	ii := float64(2*d+3) / 2 // some overlap across odd/even banks
+	// The feedback network also degrades the clock.
+	clock := clockMHz(memoryBytes) * 0.75
+	return Design{
+		Name:        "CocoSketch-basic",
+		MemoryBytes: memoryBytes,
+		II:          ii,
+		ClockMHz:    clock,
+		LUTs:        float64(d)*(lutsPerHashUnit+lutsPerLane+lutsMinTreePerLane) + lutsPerRNG,
+		Registers:   float64(d)*(ffPerHashUnit+ffPerLane+ffMinTreePerLane) + ffPerRNG,
+		BRAMTiles:   bramTiles(memoryBytes),
+	}
+}
+
+// Elastic models one single-key Elastic sketch instance on FPGA. The
+// heavy part's vote pipeline uses more lanes and registers per key, and
+// every additional measured key replicates the whole design (the
+// "6*Elastic" series of Figure 15(c)).
+func Elastic(keys int, memoryBytesPerKey int) Design {
+	if keys <= 0 {
+		panic("fpga: keys must be positive")
+	}
+	const (
+		lutsPerInstance = 14500
+		ffPerInstance   = 58000
+	)
+	return Design{
+		Name:        "Elastic",
+		MemoryBytes: keys * memoryBytesPerKey,
+		II:          1,
+		ClockMHz:    clockMHz(memoryBytesPerKey),
+		LUTs:        float64(keys) * lutsPerInstance,
+		Registers:   float64(keys) * ffPerInstance,
+		BRAMTiles:   float64(keys) * bramTiles(memoryBytesPerKey),
+	}
+}

@@ -1,0 +1,127 @@
+package fpga
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHardwareThroughputCalibration(t *testing.T) {
+	// Figure 15(b): hardware-friendly CocoSketch ≈150 Mpps at 2 MB.
+	d := HardwareCoco(2, 2<<20)
+	if got := d.ThroughputMpps(); math.Abs(got-150) > 20 {
+		t.Fatalf("HW throughput at 2MB = %.1f Mpps, want ≈150", got)
+	}
+	small := HardwareCoco(2, 256<<10)
+	if got := small.ThroughputMpps(); got < 250 {
+		t.Fatalf("HW throughput at 0.25MB = %.1f Mpps, want ≥250", got)
+	}
+}
+
+func TestBasicFiveTimesSlower(t *testing.T) {
+	// §7.4: removing circular dependencies improves FPGA throughput
+	// about 5×, and basic lands near 30 Mpps at 2 MB.
+	hw := HardwareCoco(2, 2<<20)
+	basic := BasicCoco(2, 2<<20)
+	ratio := hw.ThroughputMpps() / basic.ThroughputMpps()
+	if ratio < 4 || ratio > 6.5 {
+		t.Fatalf("HW/basic throughput ratio = %.2f, want ≈5", ratio)
+	}
+	if got := basic.ThroughputMpps(); math.Abs(got-30) > 10 {
+		t.Fatalf("basic throughput = %.1f Mpps, want ≈30", got)
+	}
+}
+
+func TestThroughputDecreasesWithMemory(t *testing.T) {
+	prev := math.Inf(1)
+	for _, mem := range []int{256 << 10, 512 << 10, 1 << 20, 2 << 20} {
+		cur := HardwareCoco(2, mem).ThroughputMpps()
+		if cur >= prev {
+			t.Fatalf("throughput not decreasing at %d bytes: %.1f >= %.1f", mem, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestIIIndependentOfMemory(t *testing.T) {
+	a := HardwareCoco(2, 256<<10)
+	b := HardwareCoco(2, 2<<20)
+	if a.II != 1 || b.II != 1 {
+		t.Fatal("hardware-friendly design must be fully pipelined (II=1)")
+	}
+	if BasicCoco(4, 1<<20).II <= BasicCoco(2, 1<<20).II {
+		t.Fatal("basic II must grow with d")
+	}
+}
+
+func TestResourceFractionsFigure15c(t *testing.T) {
+	// Paper: measuring 6 keys, CocoSketch's registers ≈45× smaller
+	// than 6×Elastic, BRAM 5.8% vs 34%.
+	coco := HardwareCoco(2, 560<<10)
+	elastic6 := Elastic(6, 512<<10)
+	if f := coco.BRAMFraction(); math.Abs(f-0.058) > 0.015 {
+		t.Fatalf("coco BRAM fraction = %.3f, want ≈0.058", f)
+	}
+	if f := elastic6.BRAMFraction(); math.Abs(f-0.34) > 0.05 {
+		t.Fatalf("6xElastic BRAM fraction = %.3f, want ≈0.34", f)
+	}
+	ratio := elastic6.RegisterFraction() / coco.RegisterFraction()
+	if ratio < 25 || ratio > 90 {
+		t.Fatalf("register ratio = %.1f, want tens (paper: ≈45)", ratio)
+	}
+}
+
+func TestElasticScalesWithKeys(t *testing.T) {
+	one := Elastic(1, 512<<10)
+	six := Elastic(6, 512<<10)
+	if math.Abs(six.LUTs/one.LUTs-6) > 1e-9 {
+		t.Fatal("LUTs must scale linearly with keys")
+	}
+	if math.Abs(six.BRAMTiles/one.BRAMTiles-6) > 1e-9 {
+		t.Fatal("BRAM must scale linearly with keys")
+	}
+	// CocoSketch does not scale with keys: same design for 1 or 6.
+	coco := HardwareCoco(2, 560<<10)
+	if coco.LUTs >= one.LUTs {
+		t.Fatal("coco should use fewer LUTs than one Elastic instance")
+	}
+}
+
+func TestFractionsWithinDevice(t *testing.T) {
+	for _, d := range []Design{
+		HardwareCoco(2, 2<<20), BasicCoco(2, 2<<20), Elastic(6, 512<<10),
+	} {
+		for name, f := range map[string]float64{
+			"lut": d.LUTFraction(), "ff": d.RegisterFraction(), "bram": d.BRAMFraction(),
+		} {
+			if f <= 0 || f >= 1 {
+				t.Fatalf("%s %s fraction %.4f outside (0,1)", d.Name, name, f)
+			}
+		}
+	}
+}
+
+func TestPanicsOnBadArgs(t *testing.T) {
+	for _, f := range []func(){
+		func() { HardwareCoco(0, 1024) },
+		func() { BasicCoco(0, 1024) },
+		func() { Elastic(0, 1024) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad args did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestClockFloor(t *testing.T) {
+	if clockMHz(1024) != baseClockMHz {
+		t.Fatal("small memories must run at base clock")
+	}
+	if clockMHz(64<<20) >= clockMHz(1<<20) {
+		t.Fatal("clock must fall with memory")
+	}
+}

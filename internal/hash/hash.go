@@ -1,0 +1,143 @@
+// Package hash provides the seeded 32-bit hash functions used by every
+// sketch in this repository.
+//
+// The primary function is Bob32, an implementation of Bob Jenkins' 1996
+// lookup ("Bob hash") used by the CocoSketch paper (reference [83]).
+// A sketch with d arrays derives d independent hash functions from d
+// distinct seeds; see Family.
+package hash
+
+// Bob32 computes Bob Jenkins' 32-bit hash of key with the given seed.
+//
+// This is the classic lookup hash from
+// http://burtleburtle.net/bob/hash/evahash.html: the key is consumed in
+// 12-byte blocks mixed into three lanes a, b, c.
+func Bob32(key []byte, seed uint32) uint32 {
+	var a, b, c uint32
+	a = 0x9e3779b9
+	b = 0x9e3779b9
+	c = seed
+
+	i := 0
+	for ; len(key)-i >= 12; i += 12 {
+		a += uint32(key[i]) | uint32(key[i+1])<<8 | uint32(key[i+2])<<16 | uint32(key[i+3])<<24
+		b += uint32(key[i+4]) | uint32(key[i+5])<<8 | uint32(key[i+6])<<16 | uint32(key[i+7])<<24
+		c += uint32(key[i+8]) | uint32(key[i+9])<<8 | uint32(key[i+10])<<16 | uint32(key[i+11])<<24
+		a, b, c = mix(a, b, c)
+	}
+
+	c += uint32(len(key))
+	rest := key[i:]
+	// Fall through is deliberate in the original C; replicate by
+	// accumulating whatever tail bytes remain.
+	switch len(rest) {
+	case 11:
+		c += uint32(rest[10]) << 24
+		fallthrough
+	case 10:
+		c += uint32(rest[9]) << 16
+		fallthrough
+	case 9:
+		c += uint32(rest[8]) << 8
+		fallthrough
+	// The first byte of c is reserved for the length.
+	case 8:
+		b += uint32(rest[7]) << 24
+		fallthrough
+	case 7:
+		b += uint32(rest[6]) << 16
+		fallthrough
+	case 6:
+		b += uint32(rest[5]) << 8
+		fallthrough
+	case 5:
+		b += uint32(rest[4])
+		fallthrough
+	case 4:
+		a += uint32(rest[3]) << 24
+		fallthrough
+	case 3:
+		a += uint32(rest[2]) << 16
+		fallthrough
+	case 2:
+		a += uint32(rest[1]) << 8
+		fallthrough
+	case 1:
+		a += uint32(rest[0])
+	}
+	_, _, c = mix(a, b, c)
+	return c
+}
+
+// mix is Bob Jenkins' reversible 96-bit mixing step.
+func mix(a, b, c uint32) (uint32, uint32, uint32) {
+	a -= b
+	a -= c
+	a ^= c >> 13
+	b -= c
+	b -= a
+	b ^= a << 8
+	c -= a
+	c -= b
+	c ^= b >> 13
+	a -= b
+	a -= c
+	a ^= c >> 12
+	b -= c
+	b -= a
+	b ^= a << 16
+	c -= a
+	c -= b
+	c ^= b >> 5
+	a -= b
+	a -= c
+	a ^= c >> 3
+	b -= c
+	b -= a
+	b ^= a << 10
+	c -= a
+	c -= b
+	c ^= b >> 15
+	return a, b, c
+}
+
+// Family is a set of independent hash functions obtained from distinct
+// seeds. The zero value is not usable; construct with NewFamily.
+type Family struct {
+	seeds []uint32
+}
+
+// NewFamily returns a family of n independent hash functions. The base
+// seed makes the family reproducible; families with different base seeds
+// are independent of each other.
+func NewFamily(n int, base uint32) *Family {
+	if n <= 0 {
+		panic("hash: family size must be positive")
+	}
+	seeds := make([]uint32, n)
+	s := base
+	for i := range seeds {
+		// SplitMix-style seed sequence so that adjacent bases do not
+		// produce correlated seeds.
+		s += 0x9e3779b9
+		z := s
+		z ^= z >> 16
+		z *= 0x85ebca6b
+		z ^= z >> 13
+		z *= 0xc2b2ae35
+		z ^= z >> 16
+		seeds[i] = z
+	}
+	return &Family{seeds: seeds}
+}
+
+// Size returns the number of functions in the family.
+func (f *Family) Size() int { return len(f.seeds) }
+
+// Hash applies the i-th function of the family to key.
+func (f *Family) Hash(i int, key []byte) uint32 {
+	return Bob32(key, f.seeds[i])
+}
+
+// Seed returns the i-th seed, for callers that hash incrementally.
+func (f *Family) Seed(i int) uint32 { return f.seeds[i] }

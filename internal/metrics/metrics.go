@@ -1,0 +1,152 @@
+// Package metrics computes the evaluation metrics of §7.1: recall rate,
+// precision rate, F1 score, average relative error (ARE), error CDFs
+// and per-packet cycle statistics.
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// Result holds the set-comparison metrics of one detection task.
+type Result struct {
+	Recall    float64
+	Precision float64
+	F1        float64
+	// TruePositives, FalsePositives and FalseNegatives are the raw
+	// counts behind the rates.
+	TruePositives  int
+	FalsePositives int
+	FalseNegatives int
+}
+
+// Compare scores a reported set against the ground-truth set. Both maps
+// are keyed by the reported item (values are unused sizes, kept for
+// caller convenience).
+func Compare[K comparable](truth, reported map[K]uint64) Result {
+	var r Result
+	for k := range reported {
+		if _, ok := truth[k]; ok {
+			r.TruePositives++
+		} else {
+			r.FalsePositives++
+		}
+	}
+	r.FalseNegatives = len(truth) - r.TruePositives
+	if len(truth) > 0 {
+		r.Recall = float64(r.TruePositives) / float64(len(truth))
+	} else {
+		// An empty truth set cannot be missed: vacuous recall.
+		r.Recall = 1
+	}
+	if len(reported) > 0 {
+		r.Precision = float64(r.TruePositives) / float64(len(reported))
+	} else {
+		// Nothing reported means no false positives: vacuous precision.
+		r.Precision = 1
+	}
+	if r.Recall+r.Precision > 0 {
+		r.F1 = 2 * r.Recall * r.Precision / (r.Recall + r.Precision)
+	}
+	return r
+}
+
+// ARE is the average relative error over the query set Ψ (§7.1):
+// (1/|Ψ|) Σ |f̂(e)−f(e)|/f(e). Items with zero true size are skipped.
+func ARE[K comparable](truth map[K]uint64, estimate func(K) uint64) float64 {
+	if len(truth) == 0 {
+		return 0
+	}
+	var sum float64
+	n := 0
+	for k, f := range truth {
+		if f == 0 {
+			continue
+		}
+		fe := estimate(k)
+		sum += math.Abs(float64(fe)-float64(f)) / float64(f)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// AbsErrors returns |f̂−f| for every item of the query set, for CDF
+// plots (Figure 17).
+func AbsErrors[K comparable](truth map[K]uint64, estimate func(K) uint64) []float64 {
+	out := make([]float64, 0, len(truth))
+	for k, f := range truth {
+		fe := estimate(k)
+		out = append(out, math.Abs(float64(fe)-float64(f)))
+	}
+	return out
+}
+
+// CDF is an empirical distribution over float64 samples.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF copies and sorts the samples. An empty sample set is allowed;
+// all queries on it return 0.
+func NewCDF(samples []float64) *CDF {
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	return &CDF{sorted: s}
+}
+
+// Quantile returns the q-th quantile, q in [0,1].
+func (c *CDF) Quantile(q float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return c.sorted[0]
+	}
+	if q >= 1 {
+		return c.sorted[len(c.sorted)-1]
+	}
+	idx := q * float64(len(c.sorted)-1)
+	lo := int(idx)
+	frac := idx - float64(lo)
+	if lo+1 >= len(c.sorted) {
+		return c.sorted[lo]
+	}
+	return c.sorted[lo]*(1-frac) + c.sorted[lo+1]*frac
+}
+
+// At returns P[X <= x].
+func (c *CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	i := sort.SearchFloat64s(c.sorted, x)
+	// Include equal elements.
+	for i < len(c.sorted) && c.sorted[i] <= x {
+		i++
+	}
+	return float64(i) / float64(len(c.sorted))
+}
+
+// Len returns the sample count.
+func (c *CDF) Len() int { return len(c.sorted) }
+
+// Percentile returns the p-th percentile (p in [0,100]) of a sample
+// slice without constructing a CDF.
+func Percentile(samples []float64, p float64) float64 {
+	return NewCDF(samples).Quantile(p / 100)
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(samples []float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range samples {
+		sum += v
+	}
+	return sum / float64(len(samples))
+}

@@ -1,0 +1,172 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestComparePerfect(t *testing.T) {
+	truth := map[int]uint64{1: 10, 2: 20}
+	r := Compare(truth, truth)
+	if r.Recall != 1 || r.Precision != 1 || r.F1 != 1 {
+		t.Fatalf("perfect comparison = %+v", r)
+	}
+}
+
+func TestComparepartial(t *testing.T) {
+	truth := map[int]uint64{1: 1, 2: 1, 3: 1, 4: 1}
+	reported := map[int]uint64{1: 1, 2: 1, 9: 1}
+	r := Compare(truth, reported)
+	if r.TruePositives != 2 || r.FalsePositives != 1 || r.FalseNegatives != 2 {
+		t.Fatalf("counts wrong: %+v", r)
+	}
+	if math.Abs(r.Recall-0.5) > 1e-12 {
+		t.Fatalf("recall = %v", r.Recall)
+	}
+	if math.Abs(r.Precision-2.0/3) > 1e-12 {
+		t.Fatalf("precision = %v", r.Precision)
+	}
+	wantF1 := 2 * 0.5 * (2.0 / 3) / (0.5 + 2.0/3)
+	if math.Abs(r.F1-wantF1) > 1e-12 {
+		t.Fatalf("f1 = %v, want %v", r.F1, wantF1)
+	}
+}
+
+func TestCompareEmptySets(t *testing.T) {
+	r := Compare(map[int]uint64{}, map[int]uint64{})
+	if r.Recall != 1 || r.Precision != 1 {
+		t.Fatalf("empty/empty = %+v", r)
+	}
+	r = Compare(map[int]uint64{1: 1}, map[int]uint64{})
+	if r.Recall != 0 || r.Precision != 1 || r.F1 != 0 {
+		t.Fatalf("truth/empty = %+v", r)
+	}
+	r = Compare(map[int]uint64{}, map[int]uint64{1: 1})
+	if r.Recall != 1 || r.Precision != 0 {
+		t.Fatalf("empty/reported = %+v", r)
+	}
+}
+
+func TestCompareBounds(t *testing.T) {
+	f := func(truthKeys, repKeys []uint8) bool {
+		truth := map[uint8]uint64{}
+		for _, k := range truthKeys {
+			truth[k] = 1
+		}
+		rep := map[uint8]uint64{}
+		for _, k := range repKeys {
+			rep[k] = 1
+		}
+		r := Compare(truth, rep)
+		return r.Recall >= 0 && r.Recall <= 1 &&
+			r.Precision >= 0 && r.Precision <= 1 &&
+			r.F1 >= 0 && r.F1 <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestARE(t *testing.T) {
+	truth := map[int]uint64{1: 100, 2: 200}
+	est := map[int]uint64{1: 110, 2: 180}
+	got := ARE(truth, func(k int) uint64 { return est[k] })
+	want := (0.1 + 0.1) / 2
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("ARE = %v, want %v", got, want)
+	}
+}
+
+func TestAREExact(t *testing.T) {
+	truth := map[int]uint64{1: 5}
+	if got := ARE(truth, func(k int) uint64 { return truth[k] }); got != 0 {
+		t.Fatalf("exact ARE = %v", got)
+	}
+	if got := ARE(map[int]uint64{}, func(int) uint64 { return 0 }); got != 0 {
+		t.Fatalf("empty ARE = %v", got)
+	}
+	if got := ARE(map[int]uint64{1: 0}, func(int) uint64 { return 3 }); got != 0 {
+		t.Fatalf("zero-truth ARE = %v", got)
+	}
+}
+
+func TestAbsErrors(t *testing.T) {
+	truth := map[int]uint64{1: 10, 2: 20}
+	errs := AbsErrors(truth, func(k int) uint64 { return truth[k] + 3 })
+	if len(errs) != 2 || errs[0] != 3 || errs[1] != 3 {
+		t.Fatalf("AbsErrors = %v", errs)
+	}
+}
+
+func TestCDFQuantile(t *testing.T) {
+	c := NewCDF([]float64{4, 1, 3, 2})
+	if got := c.Quantile(0); got != 1 {
+		t.Fatalf("q0 = %v", got)
+	}
+	if got := c.Quantile(1); got != 4 {
+		t.Fatalf("q1 = %v", got)
+	}
+	if got := c.Quantile(0.5); math.Abs(got-2.5) > 1e-12 {
+		t.Fatalf("median = %v", got)
+	}
+	if got := c.Quantile(1.5); got != 4 {
+		t.Fatalf("clamped quantile = %v", got)
+	}
+}
+
+func TestCDFAt(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 2, 3})
+	cases := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {2, 0.75}, {3, 1}, {99, 1},
+	}
+	for _, tc := range cases {
+		if got := c.At(tc.x); math.Abs(got-tc.want) > 1e-12 {
+			t.Fatalf("At(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	c := NewCDF(nil)
+	if c.Quantile(0.5) != 0 || c.At(1) != 0 || c.Len() != 0 {
+		t.Fatal("empty CDF misbehaved")
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	f := func(samples []float64) bool {
+		for i := range samples {
+			samples[i] = math.Abs(samples[i])
+			if math.IsNaN(samples[i]) || math.IsInf(samples[i], 0) {
+				samples[i] = 1
+			}
+		}
+		c := NewCDF(samples)
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := c.Quantile(q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercentileAndMean(t *testing.T) {
+	samples := []float64{1, 2, 3, 4, 5}
+	if got := Percentile(samples, 50); got != 3 {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := Mean(samples); got != 3 {
+		t.Fatalf("mean = %v", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("mean(nil) = %v", got)
+	}
+}

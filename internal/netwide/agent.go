@@ -1,0 +1,65 @@
+package netwide
+
+import (
+	"fmt"
+	"net"
+
+	"cocosketch/internal/core"
+	"cocosketch/internal/flowkey"
+)
+
+// Agent is one vantage point: it measures local traffic into a basic
+// CocoSketch and reports per epoch. Agents at different vantage points
+// MUST share the same Config (geometry and seed) so the collector can
+// merge their sketches; flows seen at multiple vantage points are
+// counted once per observation, as in link-level measurement.
+//
+// Agent is not safe for concurrent use (one dataplane thread per
+// agent, as elsewhere in this repository).
+type Agent struct {
+	id     uint16
+	cfg    core.Config
+	sketch *core.Basic[flowkey.FiveTuple]
+	epoch  uint32
+}
+
+// NewAgent creates an agent with the shared sketch configuration.
+func NewAgent(id uint16, cfg core.Config) *Agent {
+	return &Agent{
+		id:     id,
+		cfg:    cfg,
+		sketch: core.NewBasic[flowkey.FiveTuple](cfg),
+	}
+}
+
+// Observe records one packet.
+func (a *Agent) Observe(key flowkey.FiveTuple, w uint64) {
+	a.sketch.Insert(key, w)
+}
+
+// Epoch returns the current epoch number.
+func (a *Agent) Epoch() uint32 { return a.epoch }
+
+// Report ships the current epoch's sketch to the collector over conn,
+// waits for the acknowledgement, and resets local state for the next
+// epoch.
+func (a *Agent) Report(conn net.Conn) error {
+	blob, err := a.sketch.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	msg := Message{Type: MsgSketch, Epoch: a.epoch, AgentID: a.id, Payload: blob}
+	if err := WriteMessage(conn, msg); err != nil {
+		return err
+	}
+	ack, err := ReadMessage(conn)
+	if err != nil {
+		return err
+	}
+	if ack.Type != MsgAck || ack.Epoch != a.epoch {
+		return fmt.Errorf("netwide: unexpected ack (type %d, epoch %d)", ack.Type, ack.Epoch)
+	}
+	a.epoch++
+	a.sketch = core.NewBasic[flowkey.FiveTuple](a.cfg)
+	return nil
+}

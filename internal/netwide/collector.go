@@ -1,0 +1,120 @@
+package netwide
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"cocosketch/internal/core"
+	"cocosketch/internal/flowkey"
+	"cocosketch/internal/query"
+)
+
+// Collector receives per-epoch sketches from agents, merges them into
+// one network-wide CocoSketch per epoch, and answers partial-key
+// queries. Safe for concurrent use.
+type Collector struct {
+	cfg core.Config
+
+	mu       sync.Mutex
+	epochs   map[uint32]*core.Basic[flowkey.FiveTuple]
+	reported map[uint32]map[uint16]bool
+}
+
+// NewCollector creates a collector expecting sketches of the given
+// shared configuration.
+func NewCollector(cfg core.Config) *Collector {
+	return &Collector{
+		cfg:      cfg,
+		epochs:   make(map[uint32]*core.Basic[flowkey.FiveTuple]),
+		reported: make(map[uint32]map[uint16]bool),
+	}
+}
+
+// Serve accepts agent connections until the listener closes. Each
+// connection is handled on its own goroutine; errors on individual
+// connections are dropped (the agent retries next epoch).
+func (c *Collector) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go func() {
+			defer conn.Close()
+			_ = c.Handle(conn)
+		}()
+	}
+}
+
+// Handle processes one agent connection until EOF.
+func (c *Collector) Handle(conn net.Conn) error {
+	for {
+		msg, err := ReadMessage(conn)
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		if msg.Type != MsgSketch {
+			return fmt.Errorf("netwide: unexpected message type %d", msg.Type)
+		}
+		if err := c.ingest(msg); err != nil {
+			return err
+		}
+		if err := WriteMessage(conn, Message{Type: MsgAck, Epoch: msg.Epoch}); err != nil {
+			return err
+		}
+	}
+}
+
+// ingest merges one reported sketch into its epoch aggregate.
+func (c *Collector) ingest(msg Message) error {
+	shard, err := core.UnmarshalBasic(msg.Payload, flowkey.FiveTupleFromBytes)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if agents, ok := c.reported[msg.Epoch]; ok && agents[msg.AgentID] {
+		// Duplicate report (agent retry after lost ack): ignore.
+		return nil
+	}
+	agg, ok := c.epochs[msg.Epoch]
+	if !ok {
+		c.epochs[msg.Epoch] = shard
+	} else if err := agg.Merge(shard); err != nil {
+		return fmt.Errorf("netwide: agent %d epoch %d: %w", msg.AgentID, msg.Epoch, err)
+	}
+	if c.reported[msg.Epoch] == nil {
+		c.reported[msg.Epoch] = make(map[uint16]bool)
+	}
+	c.reported[msg.Epoch][msg.AgentID] = true
+	return nil
+}
+
+// AgentsReported returns how many distinct agents contributed to an
+// epoch.
+func (c *Collector) AgentsReported(epoch uint32) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.reported[epoch])
+}
+
+// Epoch returns a query engine over the merged network-wide table of
+// one epoch (false if no agent reported it yet).
+func (c *Collector) Epoch(epoch uint32) (*query.Engine, bool) {
+	c.mu.Lock()
+	agg, ok := c.epochs[epoch]
+	c.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	return query.NewEngine(agg.Decode()), true
+}

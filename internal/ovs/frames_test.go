@@ -1,0 +1,76 @@
+package ovs
+
+import (
+	"testing"
+
+	"cocosketch/internal/flowkey"
+	"cocosketch/internal/packet"
+	"cocosketch/internal/trace"
+)
+
+func buildFrames(t *testing.T, n int, seed uint64) ([][]byte, *trace.Trace) {
+	t.Helper()
+	tr := trace.CAIDALike(n, seed)
+	frames := make([][]byte, len(tr.Packets))
+	for i := range tr.Packets {
+		frames[i] = packet.Build(tr.Packets[i].Key, packet.BuildOptions{})
+	}
+	return frames, tr
+}
+
+func TestRunFramesParsesEverything(t *testing.T) {
+	frames, tr := buildFrames(t, 50000, 3)
+	stats, decoded := RunFrames(frames, Config{
+		Threads: 4, WithSketch: true, MemoryBytes: 512 * 1024, Seed: 5,
+	})
+	if stats.Packets != uint64(len(frames)) || stats.Drops != 0 {
+		t.Fatalf("parsed %d, drops %d", stats.Packets, stats.Drops)
+	}
+	var sum uint64
+	for _, v := range decoded {
+		sum += v
+	}
+	if sum != uint64(len(frames)) {
+		t.Fatalf("decode total %d, want %d", sum, len(frames))
+	}
+	// The top flow must be visible despite round-robin sharding.
+	truth := tr.FullCounts()
+	var topKey flowkey.FiveTuple
+	var topVal uint64
+	for k, v := range truth {
+		if v > topVal {
+			topKey, topVal = k, v
+		}
+	}
+	got := decoded[topKey]
+	if got < topVal/2 || got > topVal*2 {
+		t.Fatalf("top flow estimate %d, true %d", got, topVal)
+	}
+}
+
+func TestRunFramesSkipsGarbage(t *testing.T) {
+	frames, _ := buildFrames(t, 1000, 4)
+	garbage := 0
+	for i := 0; i < len(frames); i += 10 {
+		frames[i] = []byte{0xDE, 0xAD} // unparsable
+		garbage++
+	}
+	stats, _ := RunFrames(frames, Config{Threads: 2, WithSketch: true, MemoryBytes: 64 * 1024})
+	if stats.Drops != uint64(garbage) {
+		t.Fatalf("drops = %d, want %d", stats.Drops, garbage)
+	}
+	if stats.Packets != uint64(len(frames)-garbage) {
+		t.Fatalf("parsed = %d", stats.Packets)
+	}
+}
+
+func TestRunFramesWithoutSketch(t *testing.T) {
+	frames, _ := buildFrames(t, 5000, 5)
+	stats, dec := RunFrames(frames, Config{Threads: 1})
+	if dec != nil {
+		t.Fatal("decode returned without sketch")
+	}
+	if stats.Packets != 5000 {
+		t.Fatalf("parsed %d", stats.Packets)
+	}
+}

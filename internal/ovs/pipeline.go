@@ -1,0 +1,157 @@
+package ovs
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cocosketch/internal/core"
+	"cocosketch/internal/flowkey"
+	"cocosketch/internal/trace"
+)
+
+// Config parameterizes a pipeline run.
+type Config struct {
+	// Threads is the number of Rx-queue/measurement thread pairs
+	// (the x-axis of Figure 15(a)).
+	Threads int
+	// MemoryBytes is the total sketch memory, split across shards.
+	MemoryBytes int
+	// RingCapacity per thread (defaults to 4096, the DPDK default).
+	RingCapacity int
+	// WithSketch false measures the bare datapath ("OVS w/o Ours").
+	WithSketch bool
+	// DropOnFull makes the datapath drop packets when a ring is full
+	// (NIC-like overload behaviour) instead of spinning losslessly.
+	DropOnFull bool
+	// Seed drives the sketch shards.
+	Seed uint64
+}
+
+// Stats reports a run's outcome.
+type Stats struct {
+	Packets uint64
+	// Drops counts packets discarded at full rings (DropOnFull only).
+	Drops   uint64
+	Elapsed time.Duration
+}
+
+// Mpps is million packets per second moved through the rings.
+func (s Stats) Mpps() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.Packets) / s.Elapsed.Seconds() / 1e6
+}
+
+// Run replays the trace through per-thread Rx queues. As in the
+// paper's deployment, each Rx queue has its own datapath poller: the
+// trace is pre-partitioned by flow-key hash (receive-side scaling), and
+// every queue gets a producer goroutine (the PMD thread writing headers
+// into the ring) paired with a measurement goroutine updating a private
+// CocoSketch shard. It returns the run stats and, when WithSketch, the
+// merged full-key decode across shards.
+//
+// Scaling with Threads requires physical cores; on a single-core host
+// the pairs time-slice and throughput stays flat.
+func Run(tr *trace.Trace, cfg Config) (Stats, map[flowkey.FiveTuple]uint64) {
+	threads := cfg.Threads
+	if threads <= 0 {
+		threads = 1
+	}
+	ringCap := cfg.RingCapacity
+	if ringCap <= 0 {
+		ringCap = 4096
+	}
+	// Receive-side scaling: split flows across queues by key hash.
+	shards := make([][]trace.Packet, threads)
+	shardSeed := uint32(cfg.Seed)
+	if threads == 1 {
+		shards[0] = tr.Packets
+	} else {
+		for i := range shards {
+			shards[i] = make([]trace.Packet, 0, len(tr.Packets)/threads+1)
+		}
+		for i := range tr.Packets {
+			p := tr.Packets[i]
+			s := int(uint64(p.Key.Hash(shardSeed)) * uint64(threads) >> 32)
+			shards[s] = append(shards[s], p)
+		}
+	}
+
+	rings := make([]*Ring, threads)
+	sketches := make([]*core.Basic[flowkey.FiveTuple], threads)
+	for i := range rings {
+		rings[i] = NewRing(ringCap)
+		if cfg.WithSketch {
+			mem := cfg.MemoryBytes / threads
+			if mem < 1024 {
+				mem = 1024
+			}
+			sketches[i] = core.NewBasicForMemory[flowkey.FiveTuple](
+				core.DefaultArrays, mem, cfg.Seed+uint64(i))
+		}
+	}
+
+	var drops atomic.Uint64
+	var wg sync.WaitGroup
+	wg.Add(2 * threads)
+	start := time.Now()
+	for i := 0; i < threads; i++ {
+		// The PMD thread: writes this queue's headers into the ring.
+		go func(id int) {
+			defer wg.Done()
+			ring := rings[id]
+			for _, p := range shards[id] {
+				if ring.TryPush(p) {
+					continue
+				}
+				if cfg.DropOnFull {
+					drops.Add(1)
+					continue
+				}
+				for !ring.TryPush(p) {
+					runtime.Gosched()
+				}
+			}
+			ring.Close()
+		}(i)
+		// The measurement thread: polls the ring, updates its shard.
+		go func(id int) {
+			defer wg.Done()
+			ring := rings[id]
+			sk := sketches[id]
+			var p trace.Packet
+			for {
+				if ring.TryPop(&p) {
+					if sk != nil {
+						sk.Insert(p.Key, 1)
+					}
+					continue
+				}
+				if ring.Closed() && !ring.TryPop(&p) {
+					return
+				}
+				runtime.Gosched()
+			}
+		}(i)
+	}
+	wg.Wait()
+	stats := Stats{
+		Packets: uint64(len(tr.Packets)) - drops.Load(),
+		Drops:   drops.Load(),
+		Elapsed: time.Since(start),
+	}
+
+	if !cfg.WithSketch {
+		return stats, nil
+	}
+	merged := make(map[flowkey.FiveTuple]uint64)
+	for _, sk := range sketches {
+		for k, v := range sk.Decode() {
+			merged[k] += v
+		}
+	}
+	return stats, merged
+}

@@ -1,0 +1,73 @@
+// Package ovs models the paper's Open vSwitch integration (§B): the
+// datapath writes packet headers into shared ring buffers, and
+// measurement threads poll the rings and update per-thread CocoSketch
+// shards — the architecture of the paper's OVS+DPDK testbed, with the
+// NIC and DPDK replaced by in-memory trace replay.
+package ovs
+
+import (
+	"sync/atomic"
+
+	"cocosketch/internal/trace"
+)
+
+// Ring is a single-producer single-consumer lock-free ring buffer of
+// packet records, mirroring the DPDK rings between the OVS datapath
+// and the measurement process.
+type Ring struct {
+	buf    []trace.Packet
+	mask   uint64
+	_      [48]byte // keep producer and consumer indices on separate cache lines
+	tail   atomic.Uint64
+	_      [56]byte
+	head   atomic.Uint64
+	_      [56]byte
+	closed atomic.Bool
+}
+
+// NewRing returns a ring with capacity rounded up to a power of two
+// (minimum 2).
+func NewRing(capacity int) *Ring {
+	n := 2
+	for n < capacity {
+		n <<= 1
+	}
+	return &Ring{buf: make([]trace.Packet, n), mask: uint64(n - 1)}
+}
+
+// Capacity returns the usable slot count.
+func (r *Ring) Capacity() int { return len(r.buf) }
+
+// TryPush appends one packet; it fails when the ring is full. Only one
+// goroutine may push.
+func (r *Ring) TryPush(p trace.Packet) bool {
+	tail := r.tail.Load()
+	if tail-r.head.Load() >= uint64(len(r.buf)) {
+		return false
+	}
+	r.buf[tail&r.mask] = p
+	r.tail.Store(tail + 1)
+	return true
+}
+
+// TryPop removes one packet; it fails when the ring is empty. Only one
+// goroutine may pop.
+func (r *Ring) TryPop(out *trace.Packet) bool {
+	head := r.head.Load()
+	if head == r.tail.Load() {
+		return false
+	}
+	*out = r.buf[head&r.mask]
+	r.head.Store(head + 1)
+	return true
+}
+
+// Close marks the producer side done; consumers drain and stop.
+func (r *Ring) Close() { r.closed.Store(true) }
+
+// Closed reports whether the producer finished. A consumer should stop
+// only when Closed and a subsequent TryPop fails.
+func (r *Ring) Closed() bool { return r.closed.Load() }
+
+// Len reports the queued packet count (approximate under concurrency).
+func (r *Ring) Len() int { return int(r.tail.Load() - r.head.Load()) }

@@ -1,0 +1,81 @@
+package packet
+
+import "cocosketch/internal/flowkey"
+
+// BuildOptions controls packet construction.
+type BuildOptions struct {
+	// PayloadLen is the L4 payload length in bytes (zero-filled).
+	PayloadLen int
+	// VLANID, if non-zero, inserts an 802.1Q tag.
+	VLANID uint16
+	// TCPFlags sets the flag byte for TCP packets (defaults to ACK).
+	TCPFlags uint8
+}
+
+// Build constructs a well-formed Ethernet/IPv4/{TCP,UDP} frame carrying
+// the given 5-tuple. Unknown protocols produce a bare IPv4 packet whose
+// payload is zero-filled. The frame decodes back to the same key via
+// Decoder.FiveTuple (round-trip property used in tests and the OVS
+// pipeline).
+func Build(key flowkey.FiveTuple, opt BuildOptions) []byte {
+	l4 := buildL4(key, opt)
+	ipLen := 20 + len(l4)
+	ip := make([]byte, 20, 20+len(l4))
+	ip[0] = 0x45 // version 4, IHL 5
+	ip[2] = byte(ipLen >> 8)
+	ip[3] = byte(ipLen)
+	ip[6] = 0x40 // don't fragment
+	ip[8] = 64   // TTL
+	ip[9] = key.Proto
+	copy(ip[12:16], key.SrcIP[:])
+	copy(ip[16:20], key.DstIP[:])
+	ck := HeaderChecksum(ip)
+	ip[10], ip[11] = byte(ck>>8), byte(ck)
+	ip = append(ip, l4...)
+
+	ethLen := 14
+	if opt.VLANID != 0 {
+		ethLen = 18
+	}
+	frame := make([]byte, ethLen, ethLen+len(ip))
+	// Locally administered MACs derived from the addresses, purely
+	// cosmetic but stable for a flow.
+	frame[0], frame[1] = 0x02, 0x00
+	copy(frame[2:6], key.DstIP[:])
+	frame[6], frame[7] = 0x02, 0x01
+	copy(frame[8:12], key.SrcIP[:])
+	if opt.VLANID != 0 {
+		frame[12], frame[13] = byte(EtherTypeVLAN>>8), byte(EtherTypeVLAN&0xFF)
+		frame[14], frame[15] = byte(opt.VLANID>>8), byte(opt.VLANID)
+		frame[16], frame[17] = byte(EtherTypeIPv4>>8), byte(EtherTypeIPv4&0xFF)
+	} else {
+		frame[12], frame[13] = byte(EtherTypeIPv4>>8), byte(EtherTypeIPv4&0xFF)
+	}
+	return append(frame, ip...)
+}
+
+func buildL4(key flowkey.FiveTuple, opt BuildOptions) []byte {
+	switch key.Proto {
+	case ProtoTCP:
+		seg := make([]byte, 20+opt.PayloadLen)
+		seg[0], seg[1] = byte(key.SrcPort>>8), byte(key.SrcPort)
+		seg[2], seg[3] = byte(key.DstPort>>8), byte(key.DstPort)
+		seg[12] = 5 << 4 // data offset
+		flags := opt.TCPFlags
+		if flags == 0 {
+			flags = TCPAck
+		}
+		seg[13] = flags
+		seg[14], seg[15] = 0xFF, 0xFF // window
+		return seg
+	case ProtoUDP:
+		dg := make([]byte, 8+opt.PayloadLen)
+		dg[0], dg[1] = byte(key.SrcPort>>8), byte(key.SrcPort)
+		dg[2], dg[3] = byte(key.DstPort>>8), byte(key.DstPort)
+		l := 8 + opt.PayloadLen
+		dg[4], dg[5] = byte(l>>8), byte(l)
+		return dg
+	default:
+		return make([]byte, opt.PayloadLen)
+	}
+}

@@ -1,0 +1,38 @@
+package packet
+
+import (
+	"testing"
+
+	"cocosketch/internal/flowkey"
+)
+
+// FuzzDecoder throws arbitrary frames at the 5-tuple extractor: it
+// must never panic or read out of bounds.
+func FuzzDecoder(f *testing.F) {
+	f.Add(Build(flowkey.FiveTuple{
+		SrcIP: [4]byte{1, 2, 3, 4}, DstIP: [4]byte{5, 6, 7, 8},
+		SrcPort: 80, DstPort: 443, Proto: ProtoTCP,
+	}, BuildOptions{PayloadLen: 16}))
+	f.Add(Build(flowkey.FiveTuple{Proto: ProtoUDP}, BuildOptions{VLANID: 7}))
+	f.Add([]byte{})
+	f.Add(make([]byte, 13))
+
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		var d Decoder
+		key, err := d.FiveTuple(frame)
+		if err != nil {
+			return
+		}
+		// A successfully decoded frame must rebuild to a frame that
+		// decodes to the same key (when TCP/UDP).
+		if key.Proto == ProtoTCP || key.Proto == ProtoUDP {
+			again, err := d.FiveTuple(Build(key, BuildOptions{}))
+			if err != nil {
+				t.Fatalf("rebuild of decoded key failed: %v", err)
+			}
+			if again != key {
+				t.Fatalf("rebuild round trip: %v != %v", again, key)
+			}
+		}
+	})
+}

@@ -1,0 +1,199 @@
+package packet
+
+import (
+	"fmt"
+	"net/netip"
+
+	"cocosketch/internal/flowkey"
+)
+
+// The layered API mirrors gopacket's shape (LayerType, Layer, Flow,
+// Endpoint) on top of the zero-allocation decoders, for callers that
+// want to inspect packets rather than just extract the 5-tuple.
+
+// LayerType identifies a protocol layer.
+type LayerType uint8
+
+// Layer types produced by Parse.
+const (
+	LayerTypeEthernet LayerType = iota
+	LayerTypeIPv4
+	LayerTypeIPv6
+	LayerTypeTCP
+	LayerTypeUDP
+	LayerTypePayload
+)
+
+func (t LayerType) String() string {
+	switch t {
+	case LayerTypeEthernet:
+		return "Ethernet"
+	case LayerTypeIPv4:
+		return "IPv4"
+	case LayerTypeIPv6:
+		return "IPv6"
+	case LayerTypeTCP:
+		return "TCP"
+	case LayerTypeUDP:
+		return "UDP"
+	case LayerTypePayload:
+		return "Payload"
+	}
+	return fmt.Sprintf("LayerType(%d)", uint8(t))
+}
+
+// Parsed is a decoded packet: the layer stack plus the extracted flow
+// key. A Parser reuses one Parsed across packets (NoCopy-style); call
+// Parse for an owned value.
+type Parsed struct {
+	Eth     Ethernet
+	IP4     IPv4
+	IP6     IPv6
+	TCP     TCP
+	UDP     UDP
+	Payload []byte // references the input frame
+
+	layers []LayerType
+	key    flowkey.FiveTuple
+}
+
+// Layers lists the decoded layer types in order.
+func (p *Parsed) Layers() []LayerType { return p.layers }
+
+// Has reports whether a layer was decoded.
+func (p *Parsed) Has(t LayerType) bool {
+	for _, l := range p.layers {
+		if l == t {
+			return true
+		}
+	}
+	return false
+}
+
+// Key returns the extracted 5-tuple.
+func (p *Parsed) Key() flowkey.FiveTuple { return p.key }
+
+// Endpoint is one side of a flow at some layer.
+type Endpoint struct {
+	kind string
+	addr netip.Addr
+	port uint16
+}
+
+func (e Endpoint) String() string {
+	if e.port != 0 {
+		return fmt.Sprintf("%s:%d", e.addr, e.port)
+	}
+	return e.addr.String()
+}
+
+// Kind reports the endpoint's layer ("ip" or "transport").
+func (e Endpoint) Kind() string { return e.kind }
+
+// Flow is a directed (src, dst) endpoint pair.
+type Flow struct {
+	Src, Dst Endpoint
+}
+
+func (f Flow) String() string { return f.Src.String() + "->" + f.Dst.String() }
+
+// Reverse returns the opposite direction.
+func (f Flow) Reverse() Flow { return Flow{Src: f.Dst, Dst: f.Src} }
+
+// NetworkFlow returns the IP-level flow.
+func (p *Parsed) NetworkFlow() Flow {
+	if p.Has(LayerTypeIPv6) {
+		return Flow{
+			Src: Endpoint{kind: "ip", addr: netip.AddrFrom16(p.IP6.SrcIP)},
+			Dst: Endpoint{kind: "ip", addr: netip.AddrFrom16(p.IP6.DstIP)},
+		}
+	}
+	return Flow{
+		Src: Endpoint{kind: "ip", addr: netip.AddrFrom4(p.IP4.SrcIP)},
+		Dst: Endpoint{kind: "ip", addr: netip.AddrFrom4(p.IP4.DstIP)},
+	}
+}
+
+// TransportFlow returns the L4 flow (ports included); for non-TCP/UDP
+// packets the ports are zero.
+func (p *Parsed) TransportFlow() Flow {
+	nf := p.NetworkFlow()
+	nf.Src.kind, nf.Dst.kind = "transport", "transport"
+	nf.Src.port, nf.Dst.port = p.key.SrcPort, p.key.DstPort
+	return nf
+}
+
+// Parser decodes frames into a reusable Parsed (no per-packet
+// allocation besides the Payload subslice header).
+type Parser struct {
+	out Parsed
+}
+
+// Parse decodes one frame; the returned pointer is valid until the
+// next call.
+func (pr *Parser) Parse(frame []byte) (*Parsed, error) {
+	p := &pr.out
+	p.layers = p.layers[:0]
+	p.Payload = nil
+	p.key = flowkey.FiveTuple{}
+
+	rest, err := p.Eth.DecodeFromBytes(frame)
+	if err != nil {
+		return nil, err
+	}
+	p.layers = append(p.layers, LayerTypeEthernet)
+
+	switch p.Eth.EtherType {
+	case EtherTypeIPv4:
+		if rest, err = p.IP4.DecodeFromBytes(rest); err != nil {
+			return nil, err
+		}
+		p.layers = append(p.layers, LayerTypeIPv4)
+		p.key.SrcIP, p.key.DstIP, p.key.Proto = p.IP4.SrcIP, p.IP4.DstIP, p.IP4.Protocol
+	case EtherTypeIPv6:
+		if rest, err = p.IP6.DecodeFromBytes(rest); err != nil {
+			return nil, err
+		}
+		p.layers = append(p.layers, LayerTypeIPv6)
+		p.key.SrcIP = foldIPv6(p.IP6.SrcIP)
+		p.key.DstIP = foldIPv6(p.IP6.DstIP)
+		p.key.Proto = p.IP6.NextHeader
+	default:
+		return nil, fmt.Errorf("%w: ethertype %#04x", ErrUnsupported, p.Eth.EtherType)
+	}
+
+	switch p.key.Proto {
+	case ProtoTCP:
+		if rest, err = p.TCP.DecodeFromBytes(rest); err != nil {
+			return nil, err
+		}
+		p.layers = append(p.layers, LayerTypeTCP)
+		p.key.SrcPort, p.key.DstPort = p.TCP.SrcPort, p.TCP.DstPort
+	case ProtoUDP:
+		if rest, err = p.UDP.DecodeFromBytes(rest); err != nil {
+			return nil, err
+		}
+		p.layers = append(p.layers, LayerTypeUDP)
+		p.key.SrcPort, p.key.DstPort = p.UDP.SrcPort, p.UDP.DstPort
+	}
+	if len(rest) > 0 {
+		p.Payload = rest
+		p.layers = append(p.layers, LayerTypePayload)
+	}
+	return p, nil
+}
+
+// Parse decodes a frame into an owned Parsed value.
+func Parse(frame []byte) (*Parsed, error) {
+	var pr Parser
+	p, err := pr.Parse(frame)
+	if err != nil {
+		return nil, err
+	}
+	out := *p
+	out.layers = append([]LayerType(nil), p.layers...)
+	if p.Payload != nil {
+		out.Payload = append([]byte(nil), p.Payload...)
+	}
+	return &out, nil
+}

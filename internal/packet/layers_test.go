@@ -1,0 +1,127 @@
+package packet
+
+import (
+	"testing"
+
+	"cocosketch/internal/flowkey"
+)
+
+func TestParseLayersTCP(t *testing.T) {
+	frame := Build(tcpKey(), BuildOptions{PayloadLen: 32})
+	p, err := Parse(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []LayerType{LayerTypeEthernet, LayerTypeIPv4, LayerTypeTCP, LayerTypePayload}
+	got := p.Layers()
+	if len(got) != len(want) {
+		t.Fatalf("layers = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("layer %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if !p.Has(LayerTypeTCP) || p.Has(LayerTypeUDP) {
+		t.Fatal("Has() inconsistent")
+	}
+	if p.Key() != tcpKey() {
+		t.Fatalf("key = %v", p.Key())
+	}
+	if len(p.Payload) != 32 {
+		t.Fatalf("payload = %d bytes", len(p.Payload))
+	}
+}
+
+func TestParseFlows(t *testing.T) {
+	p, err := Parse(Build(tcpKey(), BuildOptions{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nf := p.NetworkFlow()
+	if nf.String() != "192.168.1.10->10.0.0.1" {
+		t.Fatalf("network flow = %s", nf)
+	}
+	tf := p.TransportFlow()
+	if tf.String() != "192.168.1.10:50123->10.0.0.1:443" {
+		t.Fatalf("transport flow = %s", tf)
+	}
+	if tf.Reverse().String() != "10.0.0.1:443->192.168.1.10:50123" {
+		t.Fatalf("reverse = %s", tf.Reverse())
+	}
+	if tf.Src.Kind() != "transport" || nf.Src.Kind() != "ip" {
+		t.Fatal("endpoint kinds wrong")
+	}
+}
+
+func TestParserReuseNoCrosstalk(t *testing.T) {
+	var pr Parser
+	a, err := pr.Parse(Build(tcpKey(), BuildOptions{PayloadLen: 8}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	keyA := a.Key()
+	b, err := pr.Parse(Build(udpKey(), BuildOptions{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Key() == keyA {
+		t.Fatal("parser state leaked")
+	}
+	if b.Has(LayerTypeTCP) {
+		t.Fatal("stale TCP layer on UDP packet")
+	}
+	if b.Has(LayerTypePayload) {
+		t.Fatal("stale payload flag")
+	}
+}
+
+func TestParseOwnedIndependent(t *testing.T) {
+	frame := Build(tcpKey(), BuildOptions{PayloadLen: 4})
+	p, err := Parse(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame[len(frame)-1] = 0xEE // mutate the original buffer
+	for _, b := range p.Payload {
+		if b == 0xEE {
+			t.Fatal("owned parse references the input buffer")
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short frame accepted")
+	}
+	arp := Build(tcpKey(), BuildOptions{})
+	arp[12], arp[13] = 0x08, 0x06
+	if _, err := Parse(arp); err == nil {
+		t.Fatal("ARP accepted")
+	}
+}
+
+func TestLayerTypeStrings(t *testing.T) {
+	if LayerTypeIPv4.String() != "IPv4" || LayerTypeUDP.String() != "UDP" {
+		t.Fatal("LayerType strings wrong")
+	}
+	if LayerType(99).String() == "" {
+		t.Fatal("unknown layer type has empty string")
+	}
+}
+
+func BenchmarkParserParse(b *testing.B) {
+	var pr Parser
+	frame := Build(flowkey.FiveTuple{
+		SrcIP: [4]byte{1, 2, 3, 4}, DstIP: [4]byte{5, 6, 7, 8},
+		SrcPort: 1234, DstPort: 80, Proto: ProtoTCP,
+	}, BuildOptions{PayloadLen: 64})
+	b.SetBytes(int64(len(frame)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pr.Parse(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,234 @@
+package packet
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"cocosketch/internal/flowkey"
+)
+
+func tcpKey() flowkey.FiveTuple {
+	return flowkey.FiveTuple{
+		SrcIP: [4]byte{192, 168, 1, 10}, DstIP: [4]byte{10, 0, 0, 1},
+		SrcPort: 50123, DstPort: 443, Proto: ProtoTCP,
+	}
+}
+
+func udpKey() flowkey.FiveTuple {
+	return flowkey.FiveTuple{
+		SrcIP: [4]byte{172, 16, 0, 5}, DstIP: [4]byte{8, 8, 8, 8},
+		SrcPort: 5353, DstPort: 53, Proto: ProtoUDP,
+	}
+}
+
+func TestBuildDecodeRoundTripTCP(t *testing.T) {
+	var d Decoder
+	frame := Build(tcpKey(), BuildOptions{PayloadLen: 100})
+	got, err := d.FiveTuple(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != tcpKey() {
+		t.Fatalf("round trip: got %v, want %v", got, tcpKey())
+	}
+	if d.TCP.Flags != TCPAck {
+		t.Fatalf("TCP flags = %#x, want ACK", d.TCP.Flags)
+	}
+}
+
+func TestBuildDecodeRoundTripUDP(t *testing.T) {
+	var d Decoder
+	frame := Build(udpKey(), BuildOptions{PayloadLen: 8})
+	got, err := d.FiveTuple(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != udpKey() {
+		t.Fatalf("round trip: got %v, want %v", got, udpKey())
+	}
+	if d.UDP.Length != 16 {
+		t.Fatalf("UDP length = %d, want 16", d.UDP.Length)
+	}
+}
+
+func TestBuildDecodeRoundTripQuick(t *testing.T) {
+	var d Decoder
+	f := func(src, dst uint32, sp, dp uint16, isTCP bool) bool {
+		key := flowkey.FiveTuple{
+			SrcIP:   flowkey.IPv4FromUint32(src),
+			DstIP:   flowkey.IPv4FromUint32(dst),
+			SrcPort: sp, DstPort: dp, Proto: ProtoUDP,
+		}
+		if isTCP {
+			key.Proto = ProtoTCP
+		}
+		got, err := d.FiveTuple(Build(key, BuildOptions{}))
+		return err == nil && got == key
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVLANTag(t *testing.T) {
+	var d Decoder
+	frame := Build(tcpKey(), BuildOptions{VLANID: 42})
+	got, err := d.FiveTuple(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != tcpKey() {
+		t.Fatalf("VLAN round trip: got %v", got)
+	}
+	if d.Eth.VLANID != 42 {
+		t.Fatalf("VLANID = %d, want 42", d.Eth.VLANID)
+	}
+	if d.Eth.EtherType != EtherTypeIPv4 {
+		t.Fatalf("EtherType = %#x after VLAN", d.Eth.EtherType)
+	}
+}
+
+func TestIPv4Checksum(t *testing.T) {
+	frame := Build(tcpKey(), BuildOptions{})
+	ip := frame[14:34]
+	// Re-computing over the header with checksum zeroed must match.
+	var hdr [20]byte
+	copy(hdr[:], ip)
+	got := uint16(hdr[10])<<8 | uint16(hdr[11])
+	hdr[10], hdr[11] = 0, 0
+	if want := HeaderChecksum(hdr[:]); got != want {
+		t.Fatalf("checksum %#x, want %#x", got, want)
+	}
+	// And the checksum of the full header (checksum included) is 0.
+	var sum uint32
+	for i := 0; i < 20; i += 2 {
+		sum += uint32(ip[i])<<8 | uint32(ip[i+1])
+	}
+	for sum > 0xFFFF {
+		sum = (sum >> 16) + (sum & 0xFFFF)
+	}
+	if ^uint16(sum) != 0 {
+		t.Fatalf("header does not checksum to zero")
+	}
+}
+
+func TestTruncatedFrames(t *testing.T) {
+	var d Decoder
+	frame := Build(tcpKey(), BuildOptions{})
+	for _, n := range []int{0, 5, 13, 20, 33, 40} {
+		if n >= len(frame) {
+			continue
+		}
+		if _, err := d.FiveTuple(frame[:n]); err == nil {
+			t.Errorf("truncation to %d bytes decoded without error", n)
+		} else if !errors.Is(err, ErrTruncated) {
+			t.Errorf("truncation to %d: error %v not ErrTruncated", n, err)
+		}
+	}
+}
+
+func TestUnsupportedEtherType(t *testing.T) {
+	var d Decoder
+	frame := Build(tcpKey(), BuildOptions{})
+	frame[12], frame[13] = 0x08, 0x06 // ARP
+	if _, err := d.FiveTuple(frame); !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("ARP decoded: err = %v", err)
+	}
+}
+
+func TestIPv4Options(t *testing.T) {
+	// Hand-build an IPv4 header with IHL=6 (4 bytes of options).
+	key := udpKey()
+	frame := Build(key, BuildOptions{})
+	// Splice options into the IP header.
+	ip := frame[14:]
+	withOpts := make([]byte, 0, len(frame)+4)
+	withOpts = append(withOpts, frame[:14]...)
+	hdr := make([]byte, 24)
+	copy(hdr, ip[:20])
+	hdr[0] = 0x46 // IHL 6
+	withOpts = append(withOpts, hdr...)
+	withOpts = append(withOpts, ip[20:]...)
+	var d Decoder
+	got, err := d.FiveTuple(withOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != key {
+		t.Fatalf("options round trip: got %v, want %v", got, key)
+	}
+}
+
+func TestIPv6Decode(t *testing.T) {
+	// Hand-build Ethernet + IPv6 + UDP.
+	frame := make([]byte, 0, 14+40+8)
+	eth := make([]byte, 14)
+	eth[12], eth[13] = byte(EtherTypeIPv6>>8), byte(EtherTypeIPv6&0xFF)
+	frame = append(frame, eth...)
+	ip6 := make([]byte, 40)
+	ip6[0] = 6 << 4
+	ip6[4], ip6[5] = 0, 8 // payload length
+	ip6[6] = ProtoUDP
+	ip6[7] = 64
+	for i := 8; i < 40; i++ {
+		ip6[i] = byte(i)
+	}
+	frame = append(frame, ip6...)
+	udp := make([]byte, 8)
+	udp[0], udp[1] = 0x13, 0x88 // 5000
+	udp[2], udp[3] = 0x00, 0x35 // 53
+	udp[5] = 8
+	frame = append(frame, udp...)
+
+	var d Decoder
+	key, err := d.FiveTuple(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key.Proto != ProtoUDP || key.SrcPort != 5000 || key.DstPort != 53 {
+		t.Fatalf("IPv6 key = %v", key)
+	}
+	if key.SrcIP == ([4]byte{}) {
+		t.Fatal("IPv6 source did not fold into key")
+	}
+}
+
+func TestNonTCPUDPProtocol(t *testing.T) {
+	key := tcpKey()
+	key.Proto = 47 // GRE
+	key.SrcPort, key.DstPort = 0, 0
+	var d Decoder
+	got, err := d.FiveTuple(Build(key, BuildOptions{PayloadLen: 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != key {
+		t.Fatalf("GRE key = %v, want %v", got, key)
+	}
+}
+
+func TestDecoderReuseNoCrosstalk(t *testing.T) {
+	var d Decoder
+	k1, _ := d.FiveTuple(Build(tcpKey(), BuildOptions{}))
+	k2, _ := d.FiveTuple(Build(udpKey(), BuildOptions{}))
+	if k1 == k2 {
+		t.Fatal("decoder state leaked across packets")
+	}
+	k3, _ := d.FiveTuple(Build(tcpKey(), BuildOptions{}))
+	if k3 != k1 {
+		t.Fatal("decoder not idempotent across reuse")
+	}
+}
+
+func BenchmarkDecodeFiveTuple(b *testing.B) {
+	var d Decoder
+	frame := Build(tcpKey(), BuildOptions{PayloadLen: 64})
+	b.SetBytes(int64(len(frame)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.FiveTuple(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

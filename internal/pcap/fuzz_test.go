@@ -1,0 +1,44 @@
+package pcap
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"time"
+)
+
+// FuzzReader exercises the pcap parser with arbitrary bytes: it must
+// never panic and never allocate unboundedly, only return errors.
+func FuzzReader(f *testing.F) {
+	// Seed with a valid single-record file and a few corruptions.
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, LinkTypeEthernet, 256)
+	_ = w.WritePacket(time.Unix(1, 2), []byte{1, 2, 3, 4, 5, 6, 7, 8}, 8)
+	_ = w.Flush()
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:20])
+	f.Add([]byte{})
+	mutated := append([]byte{}, valid...)
+	mutated[0] ^= 0xFF
+	f.Add(mutated)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i := 0; i < 1000; i++ {
+			_, body, err := r.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				return
+			}
+			if len(body) > MaxSnapLen {
+				t.Fatalf("record exceeds MaxSnapLen: %d", len(body))
+			}
+		}
+	})
+}

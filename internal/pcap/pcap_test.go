@@ -1,0 +1,188 @@
+package pcap
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+	"time"
+
+	"cocosketch/internal/flowkey"
+	"cocosketch/internal/packet"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, LinkTypeEthernet, 65535)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := []flowkey.FiveTuple{
+		{SrcIP: [4]byte{1, 2, 3, 4}, DstIP: [4]byte{5, 6, 7, 8}, SrcPort: 10, DstPort: 20, Proto: packet.ProtoTCP},
+		{SrcIP: [4]byte{9, 9, 9, 9}, DstIP: [4]byte{8, 8, 8, 8}, SrcPort: 53, DstPort: 53, Proto: packet.ProtoUDP},
+	}
+	base := time.Unix(1700000000, 123000)
+	var frames [][]byte
+	for i, k := range keys {
+		f := packet.Build(k, packet.BuildOptions{PayloadLen: 10 * (i + 1)})
+		frames = append(frames, f)
+		if err := w.WritePacket(base.Add(time.Duration(i)*time.Millisecond), f, len(f)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LinkType() != LinkTypeEthernet {
+		t.Fatalf("link type = %d", r.LinkType())
+	}
+	var d packet.Decoder
+	for i := 0; ; i++ {
+		hdr, data, err := r.Next()
+		if err == io.EOF {
+			if i != len(keys) {
+				t.Fatalf("read %d records, want %d", i, len(keys))
+			}
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(data, frames[i]) {
+			t.Fatalf("record %d bytes differ", i)
+		}
+		if hdr.CaptureLength != len(frames[i]) || hdr.OriginalLength != len(frames[i]) {
+			t.Fatalf("record %d lengths: %+v", i, hdr)
+		}
+		wantTS := base.Add(time.Duration(i) * time.Millisecond)
+		if !hdr.Timestamp.Equal(wantTS) {
+			t.Fatalf("record %d ts %v, want %v", i, hdr.Timestamp, wantTS)
+		}
+		k, err := d.FiveTuple(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k != keys[i] {
+			t.Fatalf("record %d key %v, want %v", i, k, keys[i])
+		}
+	}
+}
+
+func TestSnapLenTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, LinkTypeEthernet, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 200)
+	if err := w.WritePacket(time.Unix(0, 0), data, 200); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdr, rec, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec) != 60 || hdr.CaptureLength != 60 || hdr.OriginalLength != 200 {
+		t.Fatalf("truncation wrong: %d bytes, hdr %+v", len(rec), hdr)
+	}
+}
+
+func TestBigEndianAndNanos(t *testing.T) {
+	// Hand-build a big-endian nanosecond file with one empty record.
+	var buf bytes.Buffer
+	hdr := make([]byte, 24)
+	binary.BigEndian.PutUint32(hdr[0:4], MagicNanoseconds)
+	binary.BigEndian.PutUint16(hdr[4:6], 2)
+	binary.BigEndian.PutUint32(hdr[16:20], 65535)
+	binary.BigEndian.PutUint32(hdr[20:24], LinkTypeRaw)
+	buf.Write(hdr)
+	rec := make([]byte, 16)
+	binary.BigEndian.PutUint32(rec[0:4], 100)
+	binary.BigEndian.PutUint32(rec[4:8], 999) // 999 ns
+	binary.BigEndian.PutUint32(rec[8:12], 0)
+	binary.BigEndian.PutUint32(rec[12:16], 0)
+	buf.Write(rec)
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LinkType() != LinkTypeRaw {
+		t.Fatalf("link type = %d", r.LinkType())
+	}
+	h, _, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := time.Unix(100, 999)
+	if !h.Timestamp.Equal(want) {
+		t.Fatalf("ts = %v, want %v", h.Timestamp, want)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	buf := bytes.NewReader(make([]byte, 24))
+	if _, err := NewReader(buf); err == nil {
+		t.Fatal("zero magic accepted")
+	}
+}
+
+func TestShortGlobalHeader(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte{1, 2, 3})); err == nil {
+		t.Fatal("3-byte file accepted")
+	}
+}
+
+func TestTruncatedRecordBody(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, LinkTypeEthernet, 65535)
+	_ = w.WritePacket(time.Unix(0, 0), make([]byte, 50), 50)
+	_ = w.Flush()
+	full := buf.Bytes()
+	r, err := NewReader(bytes.NewReader(full[:len(full)-10]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Next(); err == nil {
+		t.Fatal("truncated body read without error")
+	}
+}
+
+func TestOversizeCaptureLengthRejected(t *testing.T) {
+	var buf bytes.Buffer
+	hdr := make([]byte, 24)
+	binary.LittleEndian.PutUint32(hdr[0:4], MagicMicroseconds)
+	binary.LittleEndian.PutUint16(hdr[4:6], 2)
+	buf.Write(hdr)
+	rec := make([]byte, 16)
+	binary.LittleEndian.PutUint32(rec[8:12], MaxSnapLen+1)
+	buf.Write(rec)
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Next(); err == nil {
+		t.Fatal("oversize record accepted")
+	}
+}
+
+func TestUnsupportedVersion(t *testing.T) {
+	hdr := make([]byte, 24)
+	binary.LittleEndian.PutUint32(hdr[0:4], MagicMicroseconds)
+	binary.LittleEndian.PutUint16(hdr[4:6], 3)
+	if _, err := NewReader(bytes.NewReader(hdr)); err == nil {
+		t.Fatal("version 3 accepted")
+	}
+}

@@ -1,0 +1,44 @@
+package query_test
+
+import (
+	"fmt"
+
+	"cocosketch/internal/flowkey"
+	"cocosketch/internal/query"
+)
+
+// ExampleEngine_SQL reproduces the paper's Figure 7: the full key is
+// (SrcIP, SrcPort); the partial key SrcIP is answered by GROUP BY.
+func ExampleEngine_SQL() {
+	table := map[flowkey.FiveTuple]uint64{
+		{SrcIP: [4]byte{19, 98, 10, 26}, SrcPort: 80}:  521,
+		{SrcIP: [4]byte{34, 52, 73, 13}, SrcPort: 80}:  305,
+		{SrcIP: [4]byte{19, 98, 10, 26}, SrcPort: 81}:  520,
+		{SrcIP: [4]byte{34, 52, 73, 17}, SrcPort: 118}: 856,
+		{SrcIP: [4]byte{34, 52, 73, 13}, SrcPort: 123}: 463,
+	}
+	engine := query.NewEngine(table)
+	rows, err := engine.SQL("SELECT SrcIP, SUM(Size) FROM table GROUP BY SrcIP")
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range rows {
+		fmt.Printf("%v %d\n", flowkey.IPv4(r.Key.SrcIP), r.Size)
+	}
+	// Output:
+	// 19.98.10.26 1041
+	// 34.52.73.17 856
+	// 34.52.73.13 768
+}
+
+// ExampleAggregate maps a full-key table through an arbitrary g(·).
+func ExampleAggregate() {
+	full := map[flowkey.IPv4]uint64{
+		{192, 168, 1, 10}: 5,
+		{192, 168, 1, 20}: 7,
+		{10, 0, 0, 1}:     3,
+	}
+	by16 := query.Aggregate(full, func(k flowkey.IPv4) flowkey.IPv4 { return k.Prefix(16) })
+	fmt.Println(by16[flowkey.IPv4{192, 168, 0, 0}])
+	// Output: 12
+}

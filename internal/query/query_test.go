@@ -1,0 +1,225 @@
+package query
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"cocosketch/internal/flowkey"
+)
+
+func ft(src, dst uint32, sp, dp uint16) flowkey.FiveTuple {
+	return flowkey.FiveTuple{
+		SrcIP:   flowkey.IPv4FromUint32(src),
+		DstIP:   flowkey.IPv4FromUint32(dst),
+		SrcPort: sp, DstPort: dp, Proto: 6,
+	}
+}
+
+// paperTable reproduces the example of Figure 7: full key (SrcIP,
+// SrcPort), query SrcIP.
+func paperTable() map[flowkey.FiveTuple]uint64 {
+	ip1 := uint32(19)<<24 | 98<<16 | 10<<8 | 26 // 19.98.10.26
+	ip2 := uint32(34)<<24 | 52<<16 | 73<<8 | 13 // 34.52.73.13
+	ip3 := uint32(34)<<24 | 52<<16 | 73<<8 | 17 // 34.52.73.17
+	return map[flowkey.FiveTuple]uint64{
+		{SrcIP: flowkey.IPv4FromUint32(ip1), SrcPort: 80}:  521,
+		{SrcIP: flowkey.IPv4FromUint32(ip2), SrcPort: 80}:  305,
+		{SrcIP: flowkey.IPv4FromUint32(ip1), SrcPort: 81}:  520,
+		{SrcIP: flowkey.IPv4FromUint32(ip3), SrcPort: 118}: 856,
+		{SrcIP: flowkey.IPv4FromUint32(ip2), SrcPort: 123}: 463,
+	}
+}
+
+func TestGroupByPaperExample(t *testing.T) {
+	e := NewEngine(paperTable())
+	got := e.GroupBy(flowkey.MaskFields(flowkey.FieldSrcIP))
+	want := map[string]uint64{
+		"19.98.10.26": 1041,
+		"34.52.73.13": 768,
+		"34.52.73.17": 856,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d groups, want %d", len(got), len(want))
+	}
+	for k, v := range got {
+		ip := flowkey.IPv4(k.SrcIP).String()
+		if want[ip] != v {
+			t.Errorf("group %s = %d, want %d", ip, v, want[ip])
+		}
+	}
+}
+
+func TestAggregateConservesTotal(t *testing.T) {
+	f := func(vals []uint16) bool {
+		table := make(map[flowkey.FiveTuple]uint64)
+		var total uint64
+		for i, v := range vals {
+			table[ft(uint32(i), uint32(i%3), uint16(i), 80)] = uint64(v)
+			total += uint64(v)
+		}
+		for _, m := range flowkey.EvaluationMasks() {
+			agg := ByMask(table, m)
+			var sum uint64
+			for _, v := range agg {
+				sum += v
+			}
+			if sum != total {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuerySingleKey(t *testing.T) {
+	e := NewEngine(paperTable())
+	m := flowkey.MaskFields(flowkey.FieldSrcIP)
+	probe := flowkey.FiveTuple{SrcIP: [4]byte{19, 98, 10, 26}, SrcPort: 9999}
+	if got := e.Query(m, probe); got != 1041 {
+		t.Fatalf("Query(SrcIP 19.98.10.26) = %d, want 1041", got)
+	}
+	if got := e.Query(m, flowkey.FiveTuple{SrcIP: [4]byte{1, 2, 3, 4}}); got != 0 {
+		t.Fatalf("Query(absent) = %d, want 0", got)
+	}
+}
+
+func TestByMaskFullKeyCopies(t *testing.T) {
+	table := paperTable()
+	got := ByMask(table, flowkey.MaskAll())
+	if len(got) != len(table) {
+		t.Fatalf("identity grouping changed cardinality")
+	}
+	for k := range got {
+		got[k] = 0 // mutating the copy must not touch the original
+	}
+	for _, v := range table {
+		if v == 0 {
+			t.Fatal("ByMask(full) returned the original map")
+		}
+	}
+}
+
+func TestPrefixAggregation(t *testing.T) {
+	table := map[flowkey.FiveTuple]uint64{
+		ft(0xC0A80101, 1, 1, 1): 10, // 192.168.1.1
+		ft(0xC0A80102, 1, 1, 1): 20, // 192.168.1.2
+		ft(0xC0A80201, 1, 1, 1): 5,  // 192.168.2.1
+	}
+	m := flowkey.MaskFields(flowkey.FieldSrcIP).WithPrefix(flowkey.FieldSrcIP, 24)
+	got := ByMask(table, m)
+	if len(got) != 2 {
+		t.Fatalf("want 2 /24 groups, got %d", len(got))
+	}
+	k24 := flowkey.FiveTuple{SrcIP: [4]byte{192, 168, 1, 0}}
+	if got[k24] != 30 {
+		t.Fatalf("192.168.1.0/24 = %d, want 30", got[k24])
+	}
+}
+
+func TestSQLRoundTrip(t *testing.T) {
+	e := NewEngine(paperTable())
+	rows, err := e.SQL("SELECT SrcIP, SUM(Size) FROM table GROUP BY SrcIP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	if rows[0].Size != 1041 {
+		t.Fatalf("top row size = %d, want 1041", rows[0].Size)
+	}
+}
+
+func TestSQLWhitespaceAndCase(t *testing.T) {
+	e := NewEngine(paperTable())
+	if _, err := e.SQL("select  srcip ,  sum(size)  from table  group by  srcip"); err != nil {
+		t.Fatalf("lenient parse failed: %v", err)
+	}
+}
+
+func TestSQLErrors(t *testing.T) {
+	bad := []string{
+		"UPDATE table SET x=1",
+		"SELECT SrcIP FROM table GROUP BY SrcIP",            // missing SUM
+		"SELECT SrcIP, SUM(Size) FROM table",                // missing GROUP BY
+		"SELECT SrcIP, SUM(Size) FROM table GROUP BY DstIP", // mismatch
+		"SELECT Bogus, SUM(Size) FROM table GROUP BY Bogus", // unknown field
+		"SELECT SrcIP, COUNT(*) FROM table GROUP BY SrcIP",  // wrong aggregate
+	}
+	e := NewEngine(paperTable())
+	for _, stmt := range bad {
+		if _, err := e.SQL(stmt); err == nil {
+			t.Errorf("statement %q parsed without error", stmt)
+		}
+	}
+}
+
+func TestParseMask(t *testing.T) {
+	cases := map[string]flowkey.Mask{
+		"SrcIP":          flowkey.MaskFields(flowkey.FieldSrcIP),
+		"srcip/24":       flowkey.MaskFields(flowkey.FieldSrcIP).WithPrefix(flowkey.FieldSrcIP, 24),
+		"SrcIP+DstIP":    flowkey.MaskFields(flowkey.FieldSrcIP, flowkey.FieldDstIP),
+		"5-tuple":        flowkey.MaskAll(),
+		"all":            flowkey.MaskAll(),
+		"sport + dport":  flowkey.MaskFields(flowkey.FieldSrcPort, flowkey.FieldDstPort),
+		"SrcIP/0":        {},
+		"proto":          flowkey.MaskFields(flowkey.FieldProto),
+		"SrcIP/24+DstIP": flowkey.MaskFields(flowkey.FieldDstIP).WithPrefix(flowkey.FieldSrcIP, 24),
+		"":               {},
+	}
+	for in, want := range cases {
+		got, err := flowkey.ParseMask(in)
+		if err != nil {
+			t.Errorf("ParseMask(%q): %v", in, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("ParseMask(%q) = %v, want %v", in, got, want)
+		}
+	}
+	for _, in := range []string{"SrcIP/33", "nope", "SrcIP+SrcIP", "SrcIP/-1", "SrcIP/x"} {
+		if _, err := flowkey.ParseMask(in); err == nil {
+			t.Errorf("ParseMask(%q) did not fail", in)
+		}
+	}
+}
+
+func TestMaskStringParseRoundTrip(t *testing.T) {
+	for _, m := range flowkey.EvaluationMasks() {
+		got, err := flowkey.ParseMask(m.String())
+		if err != nil {
+			t.Fatalf("round trip of %v: %v", m, err)
+		}
+		if got != m {
+			t.Fatalf("round trip of %v produced %v", m, got)
+		}
+	}
+}
+
+func TestTopAndFormat(t *testing.T) {
+	e := NewEngine(paperTable())
+	m := flowkey.MaskFields(flowkey.FieldSrcIP)
+	top := e.Top(m, 2)
+	if len(top) != 2 || top[0].Size != 1041 || top[1].Size != 856 {
+		t.Fatalf("Top(2) = %+v", top)
+	}
+	out := FormatRows(m, top, 10)
+	if !strings.Contains(out, "19.98.10.26") || !strings.Contains(out, "1041") {
+		t.Fatalf("FormatRows output missing expected row:\n%s", out)
+	}
+}
+
+func TestRenderPartialShowsOnlyMaskedFields(t *testing.T) {
+	m := flowkey.MaskFields(flowkey.FieldDstPort)
+	row := renderPartial(m, ft(1, 2, 3, 4443))
+	if row != "dport=4443" {
+		t.Fatalf("renderPartial = %q", row)
+	}
+	if got := renderPartial(flowkey.MaskAll(), ft(1, 2, 3, 4)); !strings.Contains(got, "->") {
+		t.Fatalf("full-key render = %q", got)
+	}
+}

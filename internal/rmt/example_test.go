@@ -1,0 +1,42 @@
+package rmt_test
+
+import (
+	"fmt"
+
+	"cocosketch/internal/rmt"
+)
+
+// Example compiles the hardware-friendly CocoSketch onto the modeled
+// Tofino and reports its stateful-ALU utilization, while the basic
+// variant is rejected for its circular dependencies (§3.3).
+func Example() {
+	pl := rmt.Tofino()
+
+	placement, err := pl.Place(rmt.CocoProgram(2))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("hardware-friendly SALU: %.2f%%\n", placement.Utilization()[rmt.SALU]*100)
+
+	_, err = pl.Place(rmt.BasicCocoProgram(2))
+	fmt.Println("basic compiles:", err == nil)
+	// Output:
+	// hardware-friendly SALU: 6.25%
+	// basic compiles: false
+}
+
+// ExamplePipeline_MaxInstances shows the single-key scaling wall: a
+// Tofino fits at most four Count-Min instances (hash units).
+func ExamplePipeline_MaxInstances() {
+	fmt.Println(rmt.Tofino().MaxInstances(rmt.CountMinProgram(), 8))
+	// Output: 4
+}
+
+// ExampleApproxReciprocal32 shows the math unit's approximation error
+// for the paper's 1/17 example.
+func ExampleApproxReciprocal32() {
+	approx := float64(rmt.ApproxReciprocal32(17))
+	exact := float64(1<<32) / 17
+	fmt.Printf("relative error %.4f\n", (approx-exact)/exact)
+	// Output: relative error 0.0625
+}

@@ -1,0 +1,330 @@
+package rmt
+
+import (
+	"fmt"
+
+	"cocosketch/internal/hash"
+	"cocosketch/internal/xrand"
+)
+
+// This file is a value-level executor for RMT dataplane programs: it
+// simulates what a compiled P4 program does per packet, under the
+// platform's real constraints:
+//
+//   - strict feed-forward dataflow: an operation may only read PHV
+//     fields written in strictly earlier stages (Tofino tables cannot
+//     see same-stage results), and
+//   - stage-local state: a register array is bound to one stage and
+//     only stateful ALUs in that stage may touch it, once per packet.
+//
+// The executor complements the placement model (rmt.go): Place proves
+// a program fits; ExecPipeline proves the update logic is expressible
+// feed-forward and actually computes the right thing. CocoP4 (p4coco.go)
+// builds the paper's hardware-friendly CocoSketch §6.2 on top of it.
+
+// PHV is the packet header vector: named 32-bit fields plus the stage
+// that wrote each (for feed-forwardness checks).
+type PHV struct {
+	vals    map[string]uint32
+	wrStage map[string]int
+}
+
+// newPHV seeds the vector with parser outputs (stage -1).
+func newPHV(fields map[string]uint32) *PHV {
+	p := &PHV{
+		vals:    make(map[string]uint32, len(fields)+8),
+		wrStage: make(map[string]int, len(fields)+8),
+	}
+	for k, v := range fields {
+		p.vals[k] = v
+		p.wrStage[k] = -1
+	}
+	return p
+}
+
+func (p *PHV) read(field string, stage int) (uint32, error) {
+	ws, ok := p.wrStage[field]
+	if !ok {
+		return 0, fmt.Errorf("rmt: stage %d reads unset field %q", stage, field)
+	}
+	if ws >= stage {
+		return 0, fmt.Errorf("rmt: stage %d reads field %q written in stage %d (not feed-forward)",
+			stage, field, ws)
+	}
+	return p.vals[field], nil
+}
+
+func (p *PHV) write(field string, v uint32, stage int) {
+	p.vals[field] = v
+	p.wrStage[field] = stage
+}
+
+// RegisterArray is stateful memory bound to one stage.
+type RegisterArray struct {
+	Name  string
+	Data  []uint32
+	stage int
+	// touched guards the one-access-per-packet SALU constraint.
+	touched bool
+}
+
+// Op is one primitive operation inside a stage.
+type Op interface {
+	execute(ctx *execContext) error
+	// reads/writes list PHV fields, for validation and debugging.
+	reads() []string
+	writes() []string
+}
+
+type execContext struct {
+	phv   *PHV
+	stage int
+	pipe  *ExecPipeline
+}
+
+// ExecPipeline is an executable feed-forward pipeline.
+type ExecPipeline struct {
+	stages [][]Op
+	regs   map[string]*RegisterArray
+	rng    *xrand.Source
+	// MaxStages mirrors the physical stage budget.
+	MaxStages int
+}
+
+// NewExecPipeline returns an empty pipeline with the Tofino stage
+// budget.
+func NewExecPipeline(seed uint64) *ExecPipeline {
+	return &ExecPipeline{
+		regs:      make(map[string]*RegisterArray),
+		rng:       xrand.New(seed),
+		MaxStages: Tofino().Stages,
+	}
+}
+
+// AddStage appends a stage of operations and returns its index.
+func (p *ExecPipeline) AddStage(ops ...Op) (int, error) {
+	if len(p.stages) >= p.MaxStages {
+		return 0, fmt.Errorf("rmt: pipeline exceeds %d stages", p.MaxStages)
+	}
+	p.stages = append(p.stages, ops)
+	return len(p.stages) - 1, nil
+}
+
+// BindRegister creates a register array in the given stage.
+func (p *ExecPipeline) BindRegister(name string, size, stage int) (*RegisterArray, error) {
+	if _, dup := p.regs[name]; dup {
+		return nil, fmt.Errorf("rmt: register array %q already bound", name)
+	}
+	if stage < 0 || stage >= p.MaxStages {
+		return nil, fmt.Errorf("rmt: stage %d out of range", stage)
+	}
+	r := &RegisterArray{Name: name, Data: make([]uint32, size), stage: stage}
+	p.regs[name] = r
+	return r, nil
+}
+
+// Register returns a bound array (nil if absent).
+func (p *ExecPipeline) Register(name string) *RegisterArray { return p.regs[name] }
+
+// Process runs one packet (parser output fields) through the pipeline.
+func (p *ExecPipeline) Process(fields map[string]uint32) error {
+	phv := newPHV(fields)
+	for name := range p.regs {
+		p.regs[name].touched = false
+	}
+	for s, ops := range p.stages {
+		ctx := &execContext{phv: phv, stage: s, pipe: p}
+		for _, op := range ops {
+			if err := op.execute(ctx); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (ctx *execContext) register(name string) (*RegisterArray, error) {
+	r := ctx.pipe.regs[name]
+	if r == nil {
+		return nil, fmt.Errorf("rmt: stage %d uses unbound register %q", ctx.stage, name)
+	}
+	if r.stage != ctx.stage {
+		return nil, fmt.Errorf("rmt: register %q bound to stage %d accessed from stage %d",
+			name, r.stage, ctx.stage)
+	}
+	if r.touched {
+		return nil, fmt.Errorf("rmt: register %q touched twice in one packet", name)
+	}
+	r.touched = true
+	return r, nil
+}
+
+// HashOp computes a seeded hash of PHV fields modulo Modulo.
+type HashOp struct {
+	Dst    string
+	Src    []string
+	Seed   uint32
+	Modulo uint32
+}
+
+func (o HashOp) reads() []string  { return o.Src }
+func (o HashOp) writes() []string { return []string{o.Dst} }
+
+func (o HashOp) execute(ctx *execContext) error {
+	var buf [64]byte
+	b := buf[:0]
+	for _, f := range o.Src {
+		v, err := ctx.phv.read(f, ctx.stage)
+		if err != nil {
+			return err
+		}
+		b = append(b, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+	}
+	h := hash.Bob32(b, o.Seed)
+	if o.Modulo > 0 {
+		h = uint32((uint64(h) * uint64(o.Modulo)) >> 32)
+	}
+	ctx.phv.write(o.Dst, h, ctx.stage)
+	return nil
+}
+
+// RandomOp draws a 32-bit random number (the Tofino RNG extern).
+type RandomOp struct {
+	Dst string
+}
+
+func (o RandomOp) reads() []string  { return nil }
+func (o RandomOp) writes() []string { return []string{o.Dst} }
+
+func (o RandomOp) execute(ctx *execContext) error {
+	ctx.phv.write(o.Dst, uint32(ctx.pipe.rng.Uint64()), ctx.stage)
+	return nil
+}
+
+// MathUnitOp applies the approximate reciprocal (§6.2's math unit).
+type MathUnitOp struct {
+	Dst string
+	Src string
+}
+
+func (o MathUnitOp) reads() []string  { return []string{o.Src} }
+func (o MathUnitOp) writes() []string { return []string{o.Dst} }
+
+func (o MathUnitOp) execute(ctx *execContext) error {
+	v, err := ctx.phv.read(o.Src, ctx.stage)
+	if err != nil {
+		return err
+	}
+	r := ApproxReciprocal32(v)
+	if r > 0xFFFFFFFF {
+		r = 0xFFFFFFFF
+	}
+	ctx.phv.write(o.Dst, uint32(r), ctx.stage)
+	return nil
+}
+
+// CompareOp writes 1 if A < B else 0 (a gateway predicate).
+type CompareOp struct {
+	Dst  string
+	A, B string
+}
+
+func (o CompareOp) reads() []string  { return []string{o.A, o.B} }
+func (o CompareOp) writes() []string { return []string{o.Dst} }
+
+func (o CompareOp) execute(ctx *execContext) error {
+	a, err := ctx.phv.read(o.A, ctx.stage)
+	if err != nil {
+		return err
+	}
+	b, err := ctx.phv.read(o.B, ctx.stage)
+	if err != nil {
+		return err
+	}
+	var out uint32
+	if a < b {
+		out = 1
+	}
+	ctx.phv.write(o.Dst, out, ctx.stage)
+	return nil
+}
+
+// SALUAddOp is a stateful ALU performing R[idx] += operand and
+// exporting the new value.
+type SALUAddOp struct {
+	Array   string
+	Index   string
+	Operand string // PHV field; empty means constant 1
+	Out     string // receives the post-increment value
+}
+
+func (o SALUAddOp) reads() []string {
+	if o.Operand == "" {
+		return []string{o.Index}
+	}
+	return []string{o.Index, o.Operand}
+}
+func (o SALUAddOp) writes() []string { return []string{o.Out} }
+
+func (o SALUAddOp) execute(ctx *execContext) error {
+	r, err := ctx.register(o.Array)
+	if err != nil {
+		return err
+	}
+	idx, err := ctx.phv.read(o.Index, ctx.stage)
+	if err != nil {
+		return err
+	}
+	if int(idx) >= len(r.Data) {
+		return fmt.Errorf("rmt: index %d out of range for %q", idx, o.Array)
+	}
+	w := uint32(1)
+	if o.Operand != "" {
+		if w, err = ctx.phv.read(o.Operand, ctx.stage); err != nil {
+			return err
+		}
+	}
+	r.Data[idx] += w
+	if o.Out != "" {
+		ctx.phv.write(o.Out, r.Data[idx], ctx.stage)
+	}
+	return nil
+}
+
+// SALUCondWriteOp is a stateful ALU performing
+// "if pred != 0 { R[idx] = value }".
+type SALUCondWriteOp struct {
+	Array string
+	Index string
+	Pred  string
+	Value string
+}
+
+func (o SALUCondWriteOp) reads() []string  { return []string{o.Index, o.Pred, o.Value} }
+func (o SALUCondWriteOp) writes() []string { return nil }
+
+func (o SALUCondWriteOp) execute(ctx *execContext) error {
+	r, err := ctx.register(o.Array)
+	if err != nil {
+		return err
+	}
+	idx, err := ctx.phv.read(o.Index, ctx.stage)
+	if err != nil {
+		return err
+	}
+	if int(idx) >= len(r.Data) {
+		return fmt.Errorf("rmt: index %d out of range for %q", idx, o.Array)
+	}
+	pred, err := ctx.phv.read(o.Pred, ctx.stage)
+	if err != nil {
+		return err
+	}
+	v, err := ctx.phv.read(o.Value, ctx.stage)
+	if err != nil {
+		return err
+	}
+	if pred != 0 {
+		r.Data[idx] = v
+	}
+	return nil
+}

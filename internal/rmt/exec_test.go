@@ -1,0 +1,249 @@
+package rmt
+
+import (
+	"strings"
+	"testing"
+
+	"cocosketch/internal/core"
+	"cocosketch/internal/flowkey"
+	"cocosketch/internal/metrics"
+	"cocosketch/internal/tasks"
+	"cocosketch/internal/trace"
+)
+
+func TestFeedForwardViolationDetected(t *testing.T) {
+	p := NewExecPipeline(1)
+	// A compare that reads a field written in its own stage must fail.
+	if _, err := p.AddStage(
+		RandomOp{Dst: "r"},
+		CompareOp{Dst: "p", A: "r", B: "r"},
+	); err != nil {
+		t.Fatal(err)
+	}
+	err := p.Process(map[string]uint32{})
+	if err == nil || !strings.Contains(err.Error(), "not feed-forward") {
+		t.Fatalf("same-stage read not rejected: %v", err)
+	}
+}
+
+func TestUnsetFieldRejected(t *testing.T) {
+	p := NewExecPipeline(1)
+	if _, err := p.AddStage(CompareOp{Dst: "p", A: "ghost", B: "ghost2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Process(map[string]uint32{}); err == nil {
+		t.Fatal("unset field read accepted")
+	}
+}
+
+func TestRegisterStageBinding(t *testing.T) {
+	p := NewExecPipeline(1)
+	if _, err := p.BindRegister("r", 4, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Accessing from stage 0 must fail.
+	if _, err := p.AddStage(SALUAddOp{Array: "r", Index: "idx", Out: "o"}); err != nil {
+		t.Fatal(err)
+	}
+	err := p.Process(map[string]uint32{"idx": 0})
+	if err == nil || !strings.Contains(err.Error(), "bound to stage") {
+		t.Fatalf("cross-stage register access not rejected: %v", err)
+	}
+}
+
+func TestRegisterDoubleTouchRejected(t *testing.T) {
+	p := NewExecPipeline(1)
+	if _, err := p.BindRegister("r", 4, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.AddStage(
+		SALUAddOp{Array: "r", Index: "idx", Out: "a"},
+		SALUAddOp{Array: "r", Index: "idx", Out: "b"},
+	); err != nil {
+		t.Fatal(err)
+	}
+	err := p.Process(map[string]uint32{"idx": 1})
+	if err == nil || !strings.Contains(err.Error(), "touched twice") {
+		t.Fatalf("double SALU access not rejected: %v", err)
+	}
+}
+
+func TestStageBudgetEnforced(t *testing.T) {
+	p := NewExecPipeline(1)
+	for i := 0; i < p.MaxStages; i++ {
+		if _, err := p.AddStage(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := p.AddStage(); err == nil {
+		t.Fatal("13th stage accepted")
+	}
+}
+
+func TestDuplicateRegisterRejected(t *testing.T) {
+	p := NewExecPipeline(1)
+	if _, err := p.BindRegister("r", 4, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.BindRegister("r", 4, 1); err == nil {
+		t.Fatal("duplicate register bind accepted")
+	}
+}
+
+func TestSALUAddAndHash(t *testing.T) {
+	p := NewExecPipeline(1)
+	if _, err := p.BindRegister("cnt", 8, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.AddStage(HashOp{Dst: "idx", Src: []string{"k"}, Seed: 7, Modulo: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.AddStage(SALUAddOp{Array: "cnt", Index: "idx", Out: "v"}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := p.Process(map[string]uint32{"k": 42}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var sum uint32
+	for _, v := range p.Register("cnt").Data {
+		sum += v
+	}
+	if sum != 10 {
+		t.Fatalf("counter sum = %d, want 10", sum)
+	}
+	// Same key → same bucket: exactly one non-zero counter.
+	nonzero := 0
+	for _, v := range p.Register("cnt").Data {
+		if v > 0 {
+			nonzero++
+		}
+	}
+	if nonzero != 1 {
+		t.Fatalf("%d buckets touched for one key", nonzero)
+	}
+}
+
+func p4Key(i uint32) flowkey.FiveTuple {
+	return flowkey.FiveTuple{
+		SrcIP:   flowkey.IPv4FromUint32(0x0A000000 + i),
+		DstIP:   flowkey.IPv4FromUint32(0xC0A80001),
+		SrcPort: uint16(i), DstPort: 443, Proto: 6,
+	}
+}
+
+func TestCocoP4Conservation(t *testing.T) {
+	c, err := NewCocoP4(2, 64, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 5000
+	for i := 0; i < n; i++ {
+		if err := c.Insert(p4Key(uint32(i % 200))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < c.Arrays(); i++ {
+		if got := c.SumValues(i); got != n {
+			t.Fatalf("array %d total = %d, want %d", i, got, n)
+		}
+	}
+}
+
+func TestCocoP4KeyRoundTrip(t *testing.T) {
+	k := flowkey.FiveTuple{
+		SrcIP: [4]byte{1, 2, 3, 4}, DstIP: [4]byte{5, 6, 7, 8},
+		SrcPort: 123, DstPort: 456, Proto: 17,
+	}
+	if got := wordsToKey(keyWords(k)); got != k {
+		t.Fatalf("key words round trip: %v", got)
+	}
+}
+
+func TestCocoP4SingleFlowExact(t *testing.T) {
+	c, err := NewCocoP4(2, 16, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := p4Key(9)
+	for i := 0; i < 1000; i++ {
+		if err := c.Insert(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dec := c.Decode()
+	if dec[k] != 1000 {
+		t.Fatalf("single flow estimate = %d, want 1000 (%v)", dec[k], dec)
+	}
+}
+
+// TestCocoP4MatchesSoftwareModel compares the executable P4 pipeline
+// against core.Hardware with the approximate divider on a heavy-hitter
+// task: both are the same algorithm, so their F1 must agree closely.
+func TestCocoP4MatchesSoftwareModel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy comparison")
+	}
+	tr := trace.CAIDALike(200_000, 11)
+	truth := tr.FullCounts()
+	threshold := tasks.Threshold(tr.TotalPackets(), tasks.DefaultThresholdFraction)
+	truthHH := tasks.HeavyHitters(truth, threshold)
+
+	const d, l = 2, 8192
+	p4, err := NewCocoP4(d, l, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := core.NewHardware[flowkey.FiveTuple](core.Config{Arrays: d, BucketsPerArray: l, Seed: 7})
+	sw.SetDivider(ApproxDivider{})
+
+	for i := range tr.Packets {
+		if err := p4.Insert(tr.Packets[i].Key); err != nil {
+			t.Fatal(err)
+		}
+		sw.Insert(tr.Packets[i].Key, 1)
+	}
+
+	p4HH := tasks.HeavyHitters(p4.Decode(), threshold)
+	swHH := tasks.HeavyHitters(sw.Decode(), threshold)
+	p4Res := metrics.Compare(truthHH, p4HH)
+	swRes := metrics.Compare(truthHH, swHH)
+
+	if p4Res.F1 < 0.75 {
+		t.Fatalf("P4 pipeline F1 = %.3f, too low", p4Res.F1)
+	}
+	if diff := p4Res.F1 - swRes.F1; diff > 0.1 || diff < -0.1 {
+		t.Fatalf("P4 pipeline F1 %.3f deviates from software model %.3f", p4Res.F1, swRes.F1)
+	}
+}
+
+func TestCocoP4RejectsBadGeometry(t *testing.T) {
+	if _, err := NewCocoP4(0, 8, 1); err == nil {
+		t.Fatal("d=0 accepted")
+	}
+	if _, err := NewCocoP4(2, 0, 1); err == nil {
+		t.Fatal("l=0 accepted")
+	}
+	// d too large for the stage budget (3 + d > 12).
+	if _, err := NewCocoP4(10, 8, 1); err == nil {
+		t.Fatal("d=10 should exhaust the stage budget")
+	}
+}
+
+func BenchmarkCocoP4Insert(b *testing.B) {
+	c, err := NewCocoP4(2, 8192, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	keys := make([]flowkey.FiveTuple, 4096)
+	for i := range keys {
+		keys[i] = p4Key(uint32(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Insert(keys[i&(len(keys)-1)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package rmt
+
+import (
+	"math/bits"
+
+	"cocosketch/internal/xrand"
+)
+
+// The Tofino math unit cannot divide two variables. The P4 CocoSketch
+// (§6.2) instead computes the replacement probability w/V as
+// rand32 < w·(2^32/V), where 2^32/V is an *approximate* reciprocal the
+// math unit derives from only the top 4 bits of V. The relative error
+// of the approximation is below 1/16 ≈ 6% (the paper reports the
+// probability error is "usually below 0.1p").
+
+// recipTable[t] = floor(2^35 / t) for t in [8, 15]: the normalized
+// top-4-bit reciprocal lookup (index 0..7 maps t = 8..15).
+var recipTable = [8]uint64{
+	1 << 35 / 8, 1 << 35 / 9, 1 << 35 / 10, 1 << 35 / 11,
+	1 << 35 / 12, 1 << 35 / 13, 1 << 35 / 14, 1 << 35 / 15,
+}
+
+// ApproxReciprocal32 approximates floor(2^32 / v) from the top 4 bits
+// of v, as the Tofino math unit does. v == 0 saturates to 2^32−1.
+// Values below 8 are exact (they fit entirely in 4 bits).
+func ApproxReciprocal32(v uint32) uint64 {
+	if v == 0 {
+		return 1<<32 - 1
+	}
+	n := bits.Len32(v)
+	if n <= 4 {
+		return 1 << 32 / uint64(v)
+	}
+	// v ≈ t · 2^(n-4) with t = top 4 bits in [8, 15].
+	t := v >> uint(n-4)
+	// 2^32/v ≈ (2^35/t) >> (n - 4 + 3).
+	return recipTable[t-8] >> uint(n-1)
+}
+
+// ApproxDivider implements core.Divider using the approximate
+// reciprocal, modeling the P4 implementation's probability draw.
+type ApproxDivider struct{}
+
+// Replace draws rand32 < w · approx(2^32/vNew).
+func (ApproxDivider) Replace(rng *xrand.Source, w, vNew uint64) bool {
+	if vNew == 0 {
+		return true
+	}
+	v32 := vNew
+	if v32 > 1<<32-1 {
+		v32 = 1<<32 - 1
+	}
+	thresh := w * ApproxReciprocal32(uint32(v32))
+	if thresh >= 1<<32 {
+		return true
+	}
+	return rng.Uint64n(1<<32) < thresh
+}
+
+// Name implements core.Divider.
+func (ApproxDivider) Name() string { return "p4-approx-div" }

@@ -1,0 +1,223 @@
+package rmt
+
+import (
+	"fmt"
+
+	"cocosketch/internal/flowkey"
+	"cocosketch/internal/xrand"
+)
+
+// CocoP4 is the paper's P4 CocoSketch (§6.2) expressed as an
+// executable RMT pipeline: per packet,
+//
+//	stage 0   hash indices (one per array) + the RNG extern
+//	stage 1   per-array value SALUs: V_i[idx_i] += 1
+//	stage 2   math-unit approximate reciprocals
+//	stage 3   gateway compares (rand < 2^32/V)
+//	stage 4+i per-array key SALUs: conditional full-key overwrite
+//
+// Every dependency is strictly feed-forward, demonstrating that the
+// hardware-friendly update compiles onto RMT — the point of §3.3 —
+// while BasicCocoProgram (programs.go) shows the basic variant cannot.
+//
+// As in the real P4 deployment, packets carry unit weight (packet
+// counting) and the replacement draw uses the approximate reciprocal.
+type CocoP4 struct {
+	pipe *ExecPipeline
+	d, l int
+}
+
+// keyWords splits a 5-tuple into the four 32-bit PHV words the parser
+// would produce.
+func keyWords(k flowkey.FiveTuple) [4]uint32 {
+	return [4]uint32{
+		uint32(k.SrcIP[0])<<24 | uint32(k.SrcIP[1])<<16 | uint32(k.SrcIP[2])<<8 | uint32(k.SrcIP[3]),
+		uint32(k.DstIP[0])<<24 | uint32(k.DstIP[1])<<16 | uint32(k.DstIP[2])<<8 | uint32(k.DstIP[3]),
+		uint32(k.SrcPort)<<16 | uint32(k.DstPort),
+		uint32(k.Proto),
+	}
+}
+
+func wordsToKey(w [4]uint32) flowkey.FiveTuple {
+	return flowkey.FiveTuple{
+		SrcIP:   flowkey.IPv4FromUint32(w[0]),
+		DstIP:   flowkey.IPv4FromUint32(w[1]),
+		SrcPort: uint16(w[2] >> 16),
+		DstPort: uint16(w[2]),
+		Proto:   uint8(w[3]),
+	}
+}
+
+// NewCocoP4 compiles a d×l hardware-friendly CocoSketch onto a fresh
+// pipeline.
+func NewCocoP4(d, l int, seed uint64) (*CocoP4, error) {
+	if d <= 0 || l <= 0 {
+		return nil, fmt.Errorf("rmt: d and l must be positive")
+	}
+	pipe := NewExecPipeline(seed)
+	seedSrc := xrand.New(seed ^ 0x9996)
+
+	keyFields := []string{"key0", "key1", "key2", "key3"}
+
+	// Stage 0: hashes + RNG.
+	var s0 []Op
+	for i := 0; i < d; i++ {
+		s0 = append(s0, HashOp{
+			Dst:    field("idx", i),
+			Src:    keyFields,
+			Seed:   uint32(seedSrc.Uint64()),
+			Modulo: uint32(l),
+		})
+	}
+	s0 = append(s0, RandomOp{Dst: "rand"})
+	if _, err := pipe.AddStage(s0...); err != nil {
+		return nil, err
+	}
+
+	// Stage 1: value SALUs.
+	var s1 []Op
+	for i := 0; i < d; i++ {
+		if _, err := pipe.BindRegister(field("val", i), l, 1); err != nil {
+			return nil, err
+		}
+		s1 = append(s1, SALUAddOp{
+			Array: field("val", i),
+			Index: field("idx", i),
+			Out:   field("newv", i),
+		})
+	}
+	if _, err := pipe.AddStage(s1...); err != nil {
+		return nil, err
+	}
+
+	// Stage 2: math-unit approximate reciprocals.
+	var s2 []Op
+	for i := 0; i < d; i++ {
+		s2 = append(s2,
+			MathUnitOp{Dst: field("recip", i), Src: field("newv", i)},
+		)
+	}
+	if _, err := pipe.AddStage(s2...); err != nil {
+		return nil, err
+	}
+
+	// Stage 3: gateway compares (rand < recip_i).
+	var s3 []Op
+	for i := 0; i < d; i++ {
+		s3 = append(s3, CompareOp{Dst: field("pred", i), A: "rand", B: field("recip", i)})
+	}
+	if _, err := pipe.AddStage(s3...); err != nil {
+		return nil, err
+	}
+
+	// Stages 4..4+d-1: per-array key word SALUs (4 SALUs per stage —
+	// exactly one stage's stateful ALU budget per array).
+	for i := 0; i < d; i++ {
+		stage := 4 + i
+		var ops []Op
+		for w := 0; w < 4; w++ {
+			name := field("key", i) + keySuffix(w)
+			if _, err := pipe.BindRegister(name, l, stage); err != nil {
+				return nil, err
+			}
+			ops = append(ops, SALUCondWriteOp{
+				Array: name,
+				Index: field("idx", i),
+				Pred:  field("pred", i),
+				Value: keyFields[w],
+			})
+		}
+		if _, err := pipe.AddStage(ops...); err != nil {
+			return nil, err
+		}
+	}
+
+	return &CocoP4{pipe: pipe, d: d, l: l}, nil
+}
+
+func field(base string, i int) string { return fmt.Sprintf("%s%d", base, i) }
+func keySuffix(w int) string          { return fmt.Sprintf("_w%d", w) }
+
+// Arrays returns d.
+func (c *CocoP4) Arrays() int { return c.d }
+
+// BucketsPerArray returns l.
+func (c *CocoP4) BucketsPerArray() int { return c.l }
+
+// Insert processes one packet through the pipeline (unit weight).
+func (c *CocoP4) Insert(key flowkey.FiveTuple) error {
+	w := keyWords(key)
+	return c.pipe.Process(map[string]uint32{
+		"key0": w[0], "key1": w[1], "key2": w[2], "key3": w[3],
+	})
+}
+
+// arrayTable reads one array's buckets from the register state.
+func (c *CocoP4) arrayTable(i int) map[flowkey.FiveTuple]uint64 {
+	vals := c.pipe.Register(field("val", i)).Data
+	var words [4][]uint32
+	for w := 0; w < 4; w++ {
+		words[w] = c.pipe.Register(field("key", i) + keySuffix(w)).Data
+	}
+	out := make(map[flowkey.FiveTuple]uint64, c.l)
+	for j := 0; j < c.l; j++ {
+		if vals[j] == 0 {
+			continue
+		}
+		k := wordsToKey([4]uint32{words[0][j], words[1][j], words[2][j], words[3][j]})
+		out[k] += uint64(vals[j])
+	}
+	return out
+}
+
+// Decode builds the full-key table, median-combining the per-array
+// estimates exactly like core.Hardware.
+func (c *CocoP4) Decode() map[flowkey.FiveTuple]uint64 {
+	tables := make([]map[flowkey.FiveTuple]uint64, c.d)
+	for i := range tables {
+		tables[i] = c.arrayTable(i)
+	}
+	out := make(map[flowkey.FiveTuple]uint64)
+	est := make([]uint64, c.d)
+	for _, tbl := range tables {
+		for k := range tbl {
+			if _, done := out[k]; done {
+				continue
+			}
+			for i := range tables {
+				est[i] = tables[i][k]
+			}
+			out[k] = medianU64(est)
+		}
+	}
+	return out
+}
+
+// SumValues returns the total of one array's counters (conservation:
+// equals the number of processed packets, for every array).
+func (c *CocoP4) SumValues(i int) uint64 {
+	var sum uint64
+	for _, v := range c.pipe.Register(field("val", i)).Data {
+		sum += uint64(v)
+	}
+	return sum
+}
+
+// medianU64 mirrors core's combiner on a scratch slice.
+func medianU64(v []uint64) uint64 {
+	s := append([]uint64(nil), v...)
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	n := len(s)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	a, b := s[n/2-1], s[n/2]
+	return a + (b-a)/2
+}

@@ -1,0 +1,95 @@
+package rmt
+
+import (
+	"fmt"
+
+	"cocosketch/internal/flowkey"
+	"cocosketch/internal/hash"
+)
+
+// CountMinP4 is a single-key Count-Min sketch on the executable RMT
+// pipeline — the baseline the feasibility analysis (Table 2) models.
+// Unlike CocoSketch it has no key storage: rows are pure counters, and
+// a control-plane heap (not modeled here) tracks candidates. The
+// executable version exists to validate the pipeline model against a
+// second, structurally different program.
+type CountMinP4 struct {
+	pipe  *ExecPipeline
+	rows  int
+	l     int
+	seeds []uint32 // per-row hash seeds, for control-plane queries
+}
+
+// NewCountMinP4 compiles a rows×l Count-Min onto a fresh pipeline:
+// stage 0 computes all row indices, stage 1..ceil(rows/4) hold the row
+// SALUs (four per stage, the per-stage stateful-ALU budget).
+func NewCountMinP4(rows, l int, seed uint64) (*CountMinP4, error) {
+	if rows <= 0 || l <= 0 {
+		return nil, fmt.Errorf("rmt: rows and l must be positive")
+	}
+	pipe := NewExecPipeline(seed)
+	keyFields := []string{"key0", "key1", "key2", "key3"}
+
+	seeds := make([]uint32, rows)
+	var s0 []Op
+	for r := 0; r < rows; r++ {
+		seeds[r] = uint32(seed)*2654435761 + uint32(r)*40503
+		s0 = append(s0, HashOp{
+			Dst:    field("idx", r),
+			Src:    keyFields,
+			Seed:   seeds[r],
+			Modulo: uint32(l),
+		})
+	}
+	if _, err := pipe.AddStage(s0...); err != nil {
+		return nil, err
+	}
+
+	const salusPerStage = 4
+	for base := 0; base < rows; base += salusPerStage {
+		stage := 1 + base/salusPerStage
+		var ops []Op
+		for r := base; r < rows && r < base+salusPerStage; r++ {
+			if _, err := pipe.BindRegister(field("row", r), l, stage); err != nil {
+				return nil, err
+			}
+			ops = append(ops, SALUAddOp{
+				Array: field("row", r),
+				Index: field("idx", r),
+				Out:   field("cnt", r),
+			})
+		}
+		if _, err := pipe.AddStage(ops...); err != nil {
+			return nil, err
+		}
+	}
+	return &CountMinP4{pipe: pipe, rows: rows, l: l, seeds: seeds}, nil
+}
+
+// Insert processes one packet (unit weight, like the P4 CocoSketch).
+func (c *CountMinP4) Insert(key flowkey.FiveTuple) error {
+	w := keyWords(key)
+	return c.pipe.Process(map[string]uint32{
+		"key0": w[0], "key1": w[1], "key2": w[2], "key3": w[3],
+	})
+}
+
+// Query reads the minimum across rows from the register state, using
+// the same hash computation the pipeline used.
+func (c *CountMinP4) Query(key flowkey.FiveTuple) uint64 {
+	w := keyWords(key)
+	var buf [16]byte
+	b := buf[:0]
+	for _, v := range w {
+		b = append(b, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+	}
+	min := ^uint64(0)
+	for r := 0; r < c.rows; r++ {
+		h := hash.Bob32(b, c.seeds[r])
+		idx := int((uint64(h) * uint64(c.l)) >> 32)
+		if v := uint64(c.pipe.Register(field("row", r)).Data[idx]); v < min {
+			min = v
+		}
+	}
+	return min
+}

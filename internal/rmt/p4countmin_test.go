@@ -1,0 +1,60 @@
+package rmt
+
+import (
+	"testing"
+
+	"cocosketch/internal/xrand"
+)
+
+func TestCountMinP4NeverUnderestimates(t *testing.T) {
+	cm, err := NewCountMinP4(3, 256, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := map[uint32]uint64{}
+	rng := xrand.New(2)
+	for i := 0; i < 20000; i++ {
+		id := uint32(rng.Uint64n(500))
+		if err := cm.Insert(p4Key(id)); err != nil {
+			t.Fatal(err)
+		}
+		truth[id]++
+	}
+	for id, want := range truth {
+		if got := cm.Query(p4Key(id)); got < want {
+			t.Fatalf("flow %d underestimated: %d < %d", id, got, want)
+		}
+	}
+}
+
+func TestCountMinP4ExactWhenWide(t *testing.T) {
+	cm, err := NewCountMinP4(3, 1<<16, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		if err := cm.Insert(p4Key(7)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := cm.Query(p4Key(7)); got != 500 {
+		t.Fatalf("Query = %d, want 500", got)
+	}
+	if got := cm.Query(p4Key(8)); got != 0 {
+		t.Fatalf("unseen flow = %d", got)
+	}
+}
+
+func TestCountMinP4RowsSpanStages(t *testing.T) {
+	// 8 rows need two SALU stages (4 per stage); 48 rows exceed the
+	// 12-stage budget.
+	if _, err := NewCountMinP4(8, 64, 1); err != nil {
+		t.Fatalf("8 rows rejected: %v", err)
+	}
+	if _, err := NewCountMinP4(48, 64, 1); err == nil {
+		t.Fatal("48 rows accepted (should exhaust stages)")
+	}
+	if _, err := NewCountMinP4(0, 64, 1); err == nil {
+		t.Fatal("0 rows accepted")
+	}
+}

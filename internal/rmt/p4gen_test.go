@@ -1,0 +1,82 @@
+package rmt
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestGenerateP4Structure(t *testing.T) {
+	src, err := GenerateP4(2, 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Structural assertions: the generated program must contain the
+	// pieces the executable model (CocoP4) realizes.
+	for _, want := range []string{
+		"const bit<32> BUCKETS = 8192;",
+		"Register<bit<32>, bit<32>>(BUCKETS) val_0;",
+		"Register<bit<32>, bit<32>>(BUCKETS) val_1;",
+		"Register<bit<32>, bit<32>>(BUCKETS) key_1_w3;",
+		"MathUnit<bit<32>>(MathOp_t.DIV, 1) recip_0_unit;",
+		"meta.rand = rng.get();",
+		"meta.pred_1 = (meta.rand < meta.recip_1) ? 1w1 : 1w0;",
+		"if (meta.pred_0 == 1) {",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("generated P4 missing %q", want)
+		}
+	}
+	// No d=2 program should reference a third array.
+	if strings.Contains(src, "val_2") {
+		t.Error("generated P4 has spurious third array")
+	}
+	// Balanced braces (cheap syntactic sanity).
+	if strings.Count(src, "{") != strings.Count(src, "}") {
+		t.Error("unbalanced braces in generated P4")
+	}
+}
+
+func TestGenerateP4ScalesWithD(t *testing.T) {
+	s2, _ := GenerateP4(2, 64)
+	s4, _ := GenerateP4(4, 64)
+	if strings.Count(s4, "RegisterAction") != 2*strings.Count(s2, "RegisterAction") {
+		t.Error("register actions do not scale linearly with d")
+	}
+}
+
+func TestGenerateP4Rejects(t *testing.T) {
+	if _, err := GenerateP4(0, 8); err == nil {
+		t.Error("d=0 accepted")
+	}
+	if _, err := GenerateP4(2, 0); err == nil {
+		t.Error("l=0 accepted")
+	}
+	if _, err := GenerateP4(10, 8); err == nil {
+		t.Error("stage-budget overflow accepted")
+	}
+}
+
+func TestGenerateP4Golden(t *testing.T) {
+	src, err := GenerateP4(2, 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, err := os.ReadFile("testdata/cocosketch_d2_l8192.p4.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src != string(golden) {
+		t.Fatal("generated P4 deviates from the golden artifact; " +
+			"review the diff and refresh testdata if intentional")
+	}
+}
+
+func TestGenerateP4Helpers(t *testing.T) {
+	h := GenerateP4KeyWordHelpers()
+	for w := 0; w < 4; w++ {
+		if !strings.Contains(h, "meta_key_word_"+string(rune('0'+w))) {
+			t.Errorf("helper for word %d missing", w)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package rmt
+
+import "strconv"
+
+// Program builders for the sketches evaluated on the P4 platform. The
+// per-table demands are calibrated so whole-program utilization matches
+// the percentages the paper reports on a real Tofino (Table 2 for
+// Count-Min and R-HHH, §7.4 for CocoSketch and Elastic), while the
+// dependency structure reproduces the feasibility limits (≤4 single-key
+// sketches by hash units, ≤4 Elastic by stateful-ALU layering).
+
+// CountMinProgram models one single-key Count-Min sketch instance with
+// its heavy-hitter companion structures, per Table 2: 15 hash
+// distribution units, 8 stateful ALUs, 15 gateways, 41 Map RAMs and 41
+// SRAM blocks (20.83%, 16.67%, 7.81%, 7.11% and 4.27% of the switch).
+func CountMinProgram() *Program {
+	return &Program{
+		Name: "CountMin",
+		Tables: []Table{
+			{Name: "hash_a", Demand: Demand{HashDist: 6, Gateway: 3}},
+			{Name: "hash_b", Demand: Demand{HashDist: 6, Gateway: 3}},
+			{Name: "hash_c", Demand: Demand{HashDist: 3, Gateway: 1}},
+			{Name: "rows_a", Demand: Demand{SALU: 4, MapRAM: 21, SRAM: 21, Gateway: 4},
+				DependsOn: []string{"hash_a", "hash_b", "hash_c"}},
+			{Name: "rows_b", Demand: Demand{SALU: 4, MapRAM: 20, SRAM: 20, Gateway: 4},
+				DependsOn: []string{"rows_a"}},
+		},
+	}
+}
+
+// RHHHProgram models one per-level R-HHH instance, per Table 2 column
+// two: 16 hash units, 8 stateful ALUs, 16 gateways, 41 Map RAMs, 41
+// SRAM blocks (the extra hash unit and gateway implement the random
+// level selection).
+func RHHHProgram() *Program {
+	return &Program{
+		Name: "RHHH",
+		Tables: []Table{
+			{Name: "sample", Demand: Demand{HashDist: 1, Gateway: 1}},
+			{Name: "hash_a", Demand: Demand{HashDist: 6, Gateway: 3}, DependsOn: []string{"sample"}},
+			{Name: "hash_b", Demand: Demand{HashDist: 6, Gateway: 3}, DependsOn: []string{"sample"}},
+			{Name: "hash_c", Demand: Demand{HashDist: 3, Gateway: 1}, DependsOn: []string{"sample"}},
+			{Name: "rows_a", Demand: Demand{SALU: 4, MapRAM: 21, SRAM: 21, Gateway: 4},
+				DependsOn: []string{"hash_a", "hash_b", "hash_c"}},
+			{Name: "rows_b", Demand: Demand{SALU: 4, MapRAM: 20, SRAM: 20, Gateway: 4},
+				DependsOn: []string{"rows_a"}},
+		},
+	}
+}
+
+// ElasticProgram models one single-key Elastic sketch instance (§7.4:
+// 18.75% stateful ALUs = 9 ALUs and 7.64% Map RAM = 44 per key). The
+// heavy part's vote logic forms three dependent ALU layers of three —
+// with four ALUs per stage, each layer nearly fills a stage, so four
+// instances consume all twelve stages: the modeled reason a Tofino
+// "can implement at most 4 Elastic sketches".
+func ElasticProgram() *Program {
+	return &Program{
+		Name: "Elastic",
+		Tables: []Table{
+			{Name: "votes", Demand: Demand{HashDist: 3, SALU: 3, MapRAM: 15, SRAM: 14, Gateway: 3}},
+			{Name: "evict", Demand: Demand{SALU: 3, MapRAM: 15, SRAM: 14, Gateway: 3},
+				DependsOn: []string{"votes"}},
+			{Name: "light", Demand: Demand{SALU: 3, MapRAM: 14, SRAM: 14, Gateway: 2},
+				DependsOn: []string{"evict"}},
+		},
+	}
+}
+
+// CocoProgram models the hardware-friendly CocoSketch with d arrays
+// (§7.4: with d=2, 6.25% stateful ALUs = 3 and 6.25% Map RAM = 36,
+// independent of the number of keys measured). Each array needs one
+// value-update ALU and half a key-update ALU (key and value registers
+// pair up), one hash unit, plus one shared random source and the math
+// unit for the probability (gateways).
+func CocoProgram(d int) *Program {
+	if d <= 0 {
+		panic("rmt: d must be positive")
+	}
+	p := &Program{Name: "CocoSketch"}
+	p.Tables = append(p.Tables,
+		Table{Name: "rng", Demand: Demand{HashDist: 1, Gateway: 1}},
+	)
+	for i := 0; i < d; i++ {
+		h := tname("hash", i)
+		v := tname("value", i)
+		m := tname("math", i)
+		k := tname("key", i)
+		p.Tables = append(p.Tables,
+			Table{Name: h, Demand: Demand{HashDist: 1}},
+			Table{Name: v, Demand: Demand{SALU: 1, MapRAM: 12, SRAM: 10},
+				DependsOn: []string{h}},
+			Table{Name: m, Demand: Demand{Gateway: 2, MapRAM: 2},
+				DependsOn: []string{v, "rng"}},
+			Table{Name: k, Demand: Demand{SALU: 0.5, MapRAM: 4, SRAM: 10},
+				DependsOn: []string{m}},
+		)
+	}
+	return p
+}
+
+// BasicCocoProgram models the *basic* (software) CocoSketch update:
+// selecting the minimum of d buckets and conditionally updating it
+// makes every bucket's key/value update depend on every other bucket's
+// state from the same packet — a circular dependency. The returned
+// program encodes that cycle, so Place rejects it; this is the formal
+// statement of §3.3 that basic CocoSketch cannot compile to RMT.
+func BasicCocoProgram(d int) *Program {
+	if d < 2 {
+		panic("rmt: basic program needs d >= 2 to exhibit the cycle")
+	}
+	p := &Program{Name: "BasicCocoSketch"}
+	for i := 0; i < d; i++ {
+		// bucket i's update decision depends on bucket (i+1)%d's
+		// value — and vice versa around the ring.
+		p.Tables = append(p.Tables, Table{
+			Name:      tname("bucket", i),
+			Demand:    Demand{SALU: 1.5, HashDist: 1, MapRAM: 16, SRAM: 10},
+			DependsOn: []string{tname("bucket", (i+1)%d)},
+		})
+	}
+	return p
+}
+
+func tname(base string, i int) string {
+	return base + "_" + strconv.Itoa(i)
+}

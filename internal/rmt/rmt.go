@@ -1,0 +1,310 @@
+// Package rmt models a reconfigurable match-action (RMT) switch
+// pipeline in the style of Barefoot Tofino: a fixed number of stages,
+// each with private compute (hash distribution units, stateful ALUs,
+// gateways) and storage (Map RAM, SRAM) budgets, and a strict
+// feed-forward dataflow — a stage can never read state placed in an
+// earlier stage's past or a later stage.
+//
+// The model serves three purposes in the reproduction:
+//
+//  1. Resource accounting: programs declare per-table demands; placing
+//     a program reports utilization fractions, reproducing Table 2 and
+//     Figure 15(d).
+//  2. Feasibility: placement fails when budgets or stage counts are
+//     exhausted, reproducing the paper's claims that a Tofino cannot
+//     run more than 4 single-key sketch instances (hash units) or more
+//     than 4 Elastic instances (stateful ALU layering).
+//  3. The approximate-division math unit used by the P4 CocoSketch
+//     (see mathunit.go), which plugs into core.Hardware as a Divider.
+package rmt
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Resource identifies one per-stage resource class.
+type Resource uint8
+
+// Resource classes of the modeled switch.
+const (
+	HashDist Resource = iota // hash distribution units
+	SALU                     // stateful ALUs
+	Gateway                  // gateways (conditionals)
+	MapRAM                   // map RAM (stateful memory glue)
+	SRAM                     // SRAM blocks
+	numResources
+)
+
+func (r Resource) String() string {
+	switch r {
+	case HashDist:
+		return "Hash Distribution Unit"
+	case SALU:
+		return "Stateful ALU"
+	case Gateway:
+		return "Gateway"
+	case MapRAM:
+		return "Map RAM"
+	case SRAM:
+		return "SRAM"
+	}
+	return fmt.Sprintf("Resource(%d)", uint8(r))
+}
+
+// Resources lists all resource classes in display order.
+func Resources() []Resource {
+	return []Resource{HashDist, SALU, Gateway, MapRAM, SRAM}
+}
+
+// Demand maps resource classes to required units (fractional units are
+// allowed: paired registers can share an ALU).
+type Demand map[Resource]float64
+
+// Add accumulates other into d.
+func (d Demand) Add(other Demand) {
+	for r, v := range other {
+		d[r] += v
+	}
+}
+
+// Clone copies the demand map.
+func (d Demand) Clone() Demand {
+	out := make(Demand, len(d))
+	for r, v := range d {
+		out[r] = v
+	}
+	return out
+}
+
+// Table is one logical match-action table with resource demands and
+// dependencies on other tables of the same program. A table must be
+// placed in a strictly later stage than every table it depends on —
+// this is what makes circular dependencies unimplementable.
+type Table struct {
+	Name      string
+	Demand    Demand
+	DependsOn []string
+}
+
+// Program is a set of tables forming a dependency DAG.
+type Program struct {
+	Name   string
+	Tables []Table
+}
+
+// Concat combines independent programs (e.g. one sketch per flow key)
+// into one, prefixing table names to keep them unique.
+func Concat(name string, progs ...*Program) *Program {
+	out := &Program{Name: name}
+	for i, p := range progs {
+		prefix := fmt.Sprintf("%s#%d/", p.Name, i)
+		for _, t := range p.Tables {
+			nt := Table{
+				Name:   prefix + t.Name,
+				Demand: t.Demand.Clone(),
+			}
+			for _, dep := range t.DependsOn {
+				nt.DependsOn = append(nt.DependsOn, prefix+dep)
+			}
+			out.Tables = append(out.Tables, nt)
+		}
+	}
+	return out
+}
+
+// TotalDemand sums demands across all tables.
+func (p *Program) TotalDemand() Demand {
+	total := make(Demand)
+	for _, t := range p.Tables {
+		total.Add(t.Demand)
+	}
+	return total
+}
+
+// Pipeline describes the switch: stage count and per-stage budgets.
+type Pipeline struct {
+	Stages   int
+	PerStage Demand
+}
+
+// Tofino returns the modeled 12-stage pipeline whose totals put the
+// paper's reported utilization percentages on integer unit counts:
+// 72 hash distribution units, 48 stateful ALUs, 192 gateways,
+// 576 Map RAMs and 960 SRAM blocks.
+func Tofino() *Pipeline {
+	return &Pipeline{
+		Stages: 12,
+		PerStage: Demand{
+			HashDist: 6,
+			SALU:     4,
+			Gateway:  16,
+			MapRAM:   48,
+			SRAM:     80,
+		},
+	}
+}
+
+// Total returns the pipeline-wide budget of one resource.
+func (pl *Pipeline) Total(r Resource) float64 {
+	return pl.PerStage[r] * float64(pl.Stages)
+}
+
+// Placement is the result of compiling a program onto a pipeline.
+type Placement struct {
+	pipeline *Pipeline
+	// StageOf maps each table to its stage index (0-based).
+	StageOf map[string]int
+	// Usage is the per-stage consumed demand.
+	Usage []Demand
+}
+
+// Place assigns tables to stages: each table goes to the earliest stage
+// after all its dependencies that still has budget. It returns an error
+// when the program does not fit (budget or stage count exhausted) or
+// its dependencies are cyclic — the formal counterpart of "circular
+// dependencies cannot be implemented on RMT".
+func (pl *Pipeline) Place(prog *Program) (*Placement, error) {
+	order, err := topoSort(prog)
+	if err != nil {
+		return nil, err
+	}
+	byName := make(map[string]*Table, len(prog.Tables))
+	for i := range prog.Tables {
+		byName[prog.Tables[i].Name] = &prog.Tables[i]
+	}
+	placement := &Placement{
+		pipeline: pl,
+		StageOf:  make(map[string]int, len(prog.Tables)),
+		Usage:    make([]Demand, pl.Stages),
+	}
+	for i := range placement.Usage {
+		placement.Usage[i] = make(Demand)
+	}
+	for _, name := range order {
+		t := byName[name]
+		earliest := 0
+		for _, dep := range t.DependsOn {
+			depStage, ok := placement.StageOf[dep]
+			if !ok {
+				return nil, fmt.Errorf("rmt: table %q depends on unknown table %q", t.Name, dep)
+			}
+			if depStage+1 > earliest {
+				earliest = depStage + 1
+			}
+		}
+		placed := false
+		for s := earliest; s < pl.Stages; s++ {
+			if fits(placement.Usage[s], t.Demand, pl.PerStage) {
+				placement.Usage[s].Add(t.Demand)
+				placement.StageOf[t.Name] = s
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			return nil, fmt.Errorf("rmt: program %q does not fit: table %q needs a stage ≥ %d with %v free",
+				prog.Name, t.Name, earliest, t.Demand)
+		}
+	}
+	return placement, nil
+}
+
+func fits(used, want, budget Demand) bool {
+	for r, w := range want {
+		if used[r]+w > budget[r]+1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+// Utilization reports, for each resource, the consumed fraction of the
+// whole pipeline's budget — the quantity plotted in Figure 15(d) and
+// tabulated in Table 2.
+func (p *Placement) Utilization() map[Resource]float64 {
+	total := make(Demand)
+	for _, u := range p.Usage {
+		total.Add(u)
+	}
+	out := make(map[Resource]float64, numResources)
+	for _, r := range Resources() {
+		if b := p.pipeline.Total(r); b > 0 {
+			out[r] = total[r] / b
+		}
+	}
+	return out
+}
+
+// StagesUsed returns the highest occupied stage index + 1.
+func (p *Placement) StagesUsed() int {
+	max := 0
+	for _, s := range p.StageOf {
+		if s+1 > max {
+			max = s + 1
+		}
+	}
+	return max
+}
+
+// MaxInstances reports how many copies of a program fit on the
+// pipeline, by repeated placement. This reproduces the feasibility
+// claims (≤4 Count-Min, ≤4 Elastic).
+func (pl *Pipeline) MaxInstances(prog *Program, limit int) int {
+	var progs []*Program
+	for n := 1; n <= limit; n++ {
+		progs = append(progs, prog)
+		if _, err := pl.Place(Concat(prog.Name, progs...)); err != nil {
+			return n - 1
+		}
+	}
+	return limit
+}
+
+// topoSort orders tables so dependencies come first, rejecting cycles.
+// Ordering is stable (input order among independents) for reproducible
+// placements.
+func topoSort(prog *Program) ([]string, error) {
+	indeg := make(map[string]int, len(prog.Tables))
+	adj := make(map[string][]string)
+	for _, t := range prog.Tables {
+		if _, dup := indeg[t.Name]; dup {
+			return nil, fmt.Errorf("rmt: duplicate table %q", t.Name)
+		}
+		indeg[t.Name] = 0
+	}
+	for _, t := range prog.Tables {
+		for _, dep := range t.DependsOn {
+			if _, ok := indeg[dep]; !ok {
+				return nil, fmt.Errorf("rmt: table %q depends on unknown table %q", t.Name, dep)
+			}
+			adj[dep] = append(adj[dep], t.Name)
+			indeg[t.Name]++
+		}
+	}
+	var queue []string
+	for _, t := range prog.Tables {
+		if indeg[t.Name] == 0 {
+			queue = append(queue, t.Name)
+		}
+	}
+	sort.Strings(queue)
+	var order []string
+	for len(queue) > 0 {
+		name := queue[0]
+		queue = queue[1:]
+		order = append(order, name)
+		next := adj[name]
+		sort.Strings(next)
+		for _, m := range next {
+			indeg[m]--
+			if indeg[m] == 0 {
+				queue = append(queue, m)
+			}
+		}
+	}
+	if len(order) != len(prog.Tables) {
+		return nil, fmt.Errorf("rmt: program %q has circular dependencies", prog.Name)
+	}
+	return order, nil
+}

@@ -1,0 +1,258 @@
+package rmt
+
+import (
+	"math"
+	"testing"
+
+	"cocosketch/internal/xrand"
+)
+
+func TestTofinoTotals(t *testing.T) {
+	pl := Tofino()
+	if pl.Total(HashDist) != 72 || pl.Total(SALU) != 48 || pl.Total(Gateway) != 192 ||
+		pl.Total(MapRAM) != 576 || pl.Total(SRAM) != 960 {
+		t.Fatalf("pipeline totals wrong: %+v", pl)
+	}
+}
+
+// TestTable2 reproduces Table 2: the resource usage of one Count-Min
+// and one R-HHH instance, with the hash distribution unit as the
+// bottleneck.
+func TestTable2(t *testing.T) {
+	pl := Tofino()
+	want := map[Resource][2]float64{ // CM, R-HHH
+		HashDist: {0.2083, 0.2222},
+		SALU:     {0.1667, 0.1667},
+		Gateway:  {0.0781, 0.0833},
+		MapRAM:   {0.0711, 0.0711},
+		SRAM:     {0.0427, 0.0427},
+	}
+	for i, prog := range []*Program{CountMinProgram(), RHHHProgram()} {
+		placement, err := pl.Place(prog)
+		if err != nil {
+			t.Fatalf("%s does not place: %v", prog.Name, err)
+		}
+		util := placement.Utilization()
+		for r, pair := range want {
+			if math.Abs(util[r]-pair[i]) > 0.005 {
+				t.Errorf("%s %v utilization = %.4f, want %.4f", prog.Name, r, util[r], pair[i])
+			}
+		}
+		// Bottleneck must be the hash distribution unit.
+		for _, r := range Resources() {
+			if r != HashDist && util[r] > util[HashDist] {
+				t.Errorf("%s: %v (%.4f) exceeds hash dist (%.4f)", prog.Name, r, util[r], util[HashDist])
+			}
+		}
+	}
+}
+
+func TestMaxFourCountMin(t *testing.T) {
+	pl := Tofino()
+	if got := pl.MaxInstances(CountMinProgram(), 8); got != 4 {
+		t.Fatalf("max Count-Min instances = %d, want 4 (hash units)", got)
+	}
+}
+
+func TestMaxFourElastic(t *testing.T) {
+	pl := Tofino()
+	if got := pl.MaxInstances(ElasticProgram(), 8); got != 4 {
+		t.Fatalf("max Elastic instances = %d, want 4 (SALU layering)", got)
+	}
+}
+
+func TestCocoUtilization(t *testing.T) {
+	pl := Tofino()
+	placement, err := pl.Place(CocoProgram(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	util := placement.Utilization()
+	if math.Abs(util[SALU]-0.0625) > 0.005 {
+		t.Fatalf("Coco SALU utilization = %.4f, want 0.0625", util[SALU])
+	}
+	if math.Abs(util[MapRAM]-0.0625) > 0.005 {
+		t.Fatalf("Coco MapRAM utilization = %.4f, want 0.0625", util[MapRAM])
+	}
+}
+
+func TestCocoVsElasticUtilization(t *testing.T) {
+	// Figure 15(d): one CocoSketch (any number of keys) uses less of
+	// every listed resource than 4×Elastic.
+	pl := Tofino()
+	coco, err := pl.Place(CocoProgram(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	elastic4, err := pl.Place(Concat("4xElastic", ElasticProgram(), ElasticProgram(), ElasticProgram(), ElasticProgram()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	uc, ue := coco.Utilization(), elastic4.Utilization()
+	for _, r := range []Resource{SALU, MapRAM, SRAM} {
+		if uc[r] >= ue[r] {
+			t.Errorf("%v: coco %.4f not below 4xElastic %.4f", r, uc[r], ue[r])
+		}
+	}
+	if math.Abs(ue[SALU]-0.75) > 0.01 {
+		t.Errorf("4xElastic SALU = %.4f, want 0.75", ue[SALU])
+	}
+}
+
+func TestBasicCocoDoesNotCompile(t *testing.T) {
+	pl := Tofino()
+	if _, err := pl.Place(BasicCocoProgram(2)); err == nil {
+		t.Fatal("basic CocoSketch's circular dependency compiled onto RMT")
+	}
+}
+
+func TestPlacementRespectsDependencies(t *testing.T) {
+	pl := Tofino()
+	prog := &Program{
+		Name: "chain",
+		Tables: []Table{
+			{Name: "a", Demand: Demand{SALU: 1}},
+			{Name: "b", Demand: Demand{SALU: 1}, DependsOn: []string{"a"}},
+			{Name: "c", Demand: Demand{SALU: 1}, DependsOn: []string{"b"}},
+		},
+	}
+	placement, err := pl.Place(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(placement.StageOf["a"] < placement.StageOf["b"] && placement.StageOf["b"] < placement.StageOf["c"]) {
+		t.Fatalf("dependency order violated: %+v", placement.StageOf)
+	}
+	if placement.StagesUsed() != 3 {
+		t.Fatalf("StagesUsed = %d", placement.StagesUsed())
+	}
+}
+
+func TestPlacementRejectsTooLongChain(t *testing.T) {
+	pl := Tofino()
+	prog := &Program{Name: "deep"}
+	for i := 0; i < 13; i++ { // longer than 12 stages
+		tbl := Table{Name: tname("t", i), Demand: Demand{Gateway: 1}}
+		if i > 0 {
+			tbl.DependsOn = []string{tname("t", i-1)}
+		}
+		prog.Tables = append(prog.Tables, tbl)
+	}
+	if _, err := pl.Place(prog); err == nil {
+		t.Fatal("13-deep chain placed on 12 stages")
+	}
+}
+
+func TestPlacementRejectsOverBudgetStage(t *testing.T) {
+	pl := Tofino()
+	prog := &Program{
+		Name: "hog",
+		Tables: []Table{
+			{Name: "x", Demand: Demand{SALU: 49}}, // exceeds whole pipeline
+		},
+	}
+	if _, err := pl.Place(prog); err == nil {
+		t.Fatal("over-budget table placed")
+	}
+}
+
+func TestPlaceUnknownDependency(t *testing.T) {
+	pl := Tofino()
+	prog := &Program{
+		Name:   "bad",
+		Tables: []Table{{Name: "a", DependsOn: []string{"ghost"}, Demand: Demand{}}},
+	}
+	if _, err := pl.Place(prog); err == nil {
+		t.Fatal("unknown dependency accepted")
+	}
+}
+
+func TestConcatIndependence(t *testing.T) {
+	p := Concat("two", CountMinProgram(), CountMinProgram())
+	if len(p.Tables) != 2*len(CountMinProgram().Tables) {
+		t.Fatalf("Concat table count = %d", len(p.Tables))
+	}
+	seen := map[string]bool{}
+	for _, tbl := range p.Tables {
+		if seen[tbl.Name] {
+			t.Fatalf("duplicate table %q after Concat", tbl.Name)
+		}
+		seen[tbl.Name] = true
+	}
+	total := p.TotalDemand()
+	single := CountMinProgram().TotalDemand()
+	for r, v := range single {
+		if math.Abs(total[r]-2*v) > 1e-9 {
+			t.Fatalf("%v total %.2f, want %.2f", r, total[r], 2*v)
+		}
+	}
+}
+
+func TestApproxReciprocal(t *testing.T) {
+	cases := []uint32{1, 2, 7, 8, 15, 16, 17, 100, 1000, 65535, 1 << 20, 1<<31 + 12345}
+	for _, v := range cases {
+		got := float64(ApproxReciprocal32(v))
+		want := float64(1<<32) / float64(v)
+		re := math.Abs(got-want) / want
+		if re > 1.0/15 {
+			t.Errorf("ApproxReciprocal32(%d) = %.0f, true %.0f (re=%.3f)", v, got, want, re)
+		}
+	}
+	if got := ApproxReciprocal32(0); got != 1<<32-1 {
+		t.Fatalf("reciprocal of 0 = %d", got)
+	}
+}
+
+func TestApproxDividerProbability(t *testing.T) {
+	// The paper's example: 1/17 = 5.9%, approximation error ≈ 0.37%
+	// of p. Statistically verify the divider's rate is within ~10% of
+	// the exact probability.
+	rng := xrand.New(1)
+	div := ApproxDivider{}
+	const draws = 300000
+	hits := 0
+	for i := 0; i < draws; i++ {
+		if div.Replace(rng, 1, 17) {
+			hits++
+		}
+	}
+	got := float64(hits) / draws
+	want := 1.0 / 17
+	if math.Abs(got-want)/want > 0.1 {
+		t.Fatalf("approx divider rate %.5f, want about %.5f", got, want)
+	}
+}
+
+func TestApproxDividerEdgeCases(t *testing.T) {
+	rng := xrand.New(2)
+	div := ApproxDivider{}
+	if !div.Replace(rng, 5, 0) {
+		t.Fatal("zero denominator must replace")
+	}
+	if !div.Replace(rng, 10, 10) {
+		t.Fatal("w == v must replace (p = 1)")
+	}
+	// Huge v (beyond 32 bits) saturates but still yields tiny p.
+	hits := 0
+	for i := 0; i < 10000; i++ {
+		if div.Replace(rng, 1, 1<<40) {
+			hits++
+		}
+	}
+	if hits > 100 {
+		t.Fatalf("saturated denominator replaced %d/10000 times", hits)
+	}
+}
+
+func TestCyclicTopoSort(t *testing.T) {
+	prog := &Program{
+		Name: "cycle",
+		Tables: []Table{
+			{Name: "a", DependsOn: []string{"b"}, Demand: Demand{}},
+			{Name: "b", DependsOn: []string{"a"}, Demand: Demand{}},
+		},
+	}
+	if _, err := topoSort(prog); err == nil {
+		t.Fatal("cycle not detected")
+	}
+}

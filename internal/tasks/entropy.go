@@ -1,0 +1,46 @@
+package tasks
+
+import "math"
+
+// Entropy computes the empirical Shannon entropy (bits) of a flow-size
+// table: H = −Σ (f_i/N)·log2(f_i/N). Entropy over header distributions
+// is the classic anomaly-detection signal (§2.1 of the paper); with
+// CocoSketch one decoded table yields the entropy of ANY partial key by
+// aggregating first.
+//
+// Estimates from a sketch's decoded table are a plug-in estimator:
+// accurate when the recorded flows capture most traffic mass (heavy-
+// tailed workloads), which the entropy tests quantify.
+func Entropy[K comparable](table map[K]uint64) float64 {
+	var total float64
+	for _, v := range table {
+		total += float64(v)
+	}
+	if total == 0 {
+		return 0
+	}
+	var h float64
+	for _, v := range table {
+		if v == 0 {
+			continue
+		}
+		p := float64(v) / total
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+// NormalizedEntropy returns H / log2(n) in [0, 1] (0 when fewer than
+// two flows), the scale-free form used for threshold alarms.
+func NormalizedEntropy[K comparable](table map[K]uint64) float64 {
+	n := 0
+	for _, v := range table {
+		if v > 0 {
+			n++
+		}
+	}
+	if n < 2 {
+		return 0
+	}
+	return Entropy(table) / math.Log2(float64(n))
+}

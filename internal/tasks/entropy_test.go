@@ -1,0 +1,86 @@
+package tasks
+
+import (
+	"math"
+	"testing"
+
+	"cocosketch/internal/core"
+	"cocosketch/internal/flowkey"
+	"cocosketch/internal/query"
+	"cocosketch/internal/trace"
+)
+
+func TestEntropyUniform(t *testing.T) {
+	table := map[int]uint64{}
+	for i := 0; i < 16; i++ {
+		table[i] = 100
+	}
+	if got := Entropy(table); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("uniform-16 entropy = %v, want 4 bits", got)
+	}
+	if got := NormalizedEntropy(table); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("uniform normalized entropy = %v, want 1", got)
+	}
+}
+
+func TestEntropyDegenerate(t *testing.T) {
+	if got := Entropy(map[int]uint64{}); got != 0 {
+		t.Fatalf("empty entropy = %v", got)
+	}
+	if got := Entropy(map[int]uint64{1: 500}); got != 0 {
+		t.Fatalf("single-flow entropy = %v", got)
+	}
+	if got := NormalizedEntropy(map[int]uint64{1: 500}); got != 0 {
+		t.Fatalf("single-flow normalized entropy = %v", got)
+	}
+	// Zero-count entries are ignored.
+	if got := Entropy(map[int]uint64{1: 10, 2: 0}); got != 0 {
+		t.Fatalf("zero entries skewed entropy: %v", got)
+	}
+}
+
+func TestEntropyTwoPoint(t *testing.T) {
+	// H(1/4, 3/4) = 2 - (3/4)·log2(3) ≈ 0.8113.
+	table := map[int]uint64{1: 1, 2: 3}
+	want := 2 - 0.75*math.Log2(3)
+	if got := Entropy(table); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("two-point entropy = %v, want %v", got, want)
+	}
+}
+
+func TestSketchEntropyTracksTruth(t *testing.T) {
+	// The plug-in entropy from a CocoSketch decode should land near
+	// the true source-IP entropy on a heavy-tailed trace.
+	tr := trace.CAIDALike(400_000, 21)
+	truth := map[flowkey.IPv4]uint64{}
+	for i := range tr.Packets {
+		truth[flowkey.IPv4(tr.Packets[i].Key.SrcIP)]++
+	}
+	sk := core.NewBasicForMemory[flowkey.FiveTuple](2, 500*1024, 9)
+	for i := range tr.Packets {
+		sk.Insert(tr.Packets[i].Key, 1)
+	}
+	est := query.Aggregate(sk.Decode(),
+		func(k flowkey.FiveTuple) flowkey.IPv4 { return flowkey.IPv4(k.SrcIP) })
+
+	ht, he := Entropy(truth), Entropy(est)
+	if math.Abs(ht-he) > 0.15*ht {
+		t.Fatalf("entropy estimate %.3f vs truth %.3f", he, ht)
+	}
+}
+
+func TestEntropyDetectsDDoSCollapse(t *testing.T) {
+	// A destination-address entropy collapse is the textbook DDoS
+	// signal: concentrated attack traffic lowers normalized entropy.
+	normal := map[flowkey.IPv4]uint64{}
+	attacked := map[flowkey.IPv4]uint64{}
+	for i := uint32(0); i < 1000; i++ {
+		normal[flowkey.IPv4FromUint32(i)] = 100
+		attacked[flowkey.IPv4FromUint32(i)] = 100
+	}
+	attacked[flowkey.IPv4FromUint32(7)] += 1_000_000 // the victim
+	if NormalizedEntropy(attacked) >= NormalizedEntropy(normal)-0.3 {
+		t.Fatalf("entropy collapse not detected: %.3f vs %.3f",
+			NormalizedEntropy(attacked), NormalizedEntropy(normal))
+	}
+}

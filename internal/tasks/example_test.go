@@ -1,0 +1,46 @@
+package tasks_test
+
+import (
+	"fmt"
+	"sort"
+
+	"cocosketch/internal/flowkey"
+	"cocosketch/internal/tasks"
+)
+
+// ExampleExtractHHH1D finds the deepest source prefixes exceeding a
+// threshold, with conditioned counts excluding descendant HHHs.
+func ExampleExtractHHH1D() {
+	counts := map[flowkey.IPv4]uint64{
+		{10, 1, 1, 1}: 900, // one heavy host
+		{10, 1, 1, 2}: 40,  // plus scattered traffic in its /24
+		{10, 1, 1, 3}: 40,
+		{10, 1, 1, 4}: 40,
+	}
+	hhh := tasks.ExtractHHH1D(tasks.Levels1DFromCounts(counts), 500)
+	var nodes []string
+	for n, cond := range hhh {
+		nodes = append(nodes, fmt.Sprintf("%s=%d", n, cond))
+	}
+	sort.Strings(nodes)
+	fmt.Println(nodes)
+	// Output: [10.1.1.1/32=900]
+}
+
+// ExampleHeavyChanges diffs two measurement windows.
+func ExampleHeavyChanges() {
+	w1 := map[string]uint64{"flowA": 1000, "flowB": 50}
+	w2 := map[string]uint64{"flowA": 100, "flowB": 60}
+	fmt.Println(tasks.HeavyChanges(w1, w2, 500))
+	// Output: map[flowA:900]
+}
+
+// ExampleEntropy computes the anomaly-detection signal over any
+// aggregated table.
+func ExampleEntropy() {
+	uniform := map[int]uint64{1: 10, 2: 10, 3: 10, 4: 10}
+	skewed := map[int]uint64{1: 1000, 2: 1, 3: 1, 4: 1}
+	fmt.Printf("uniform %.2f bits, skewed %.2f bits\n",
+		tasks.Entropy(uniform), tasks.Entropy(skewed))
+	// Output: uniform 2.00 bits, skewed 0.03 bits
+}

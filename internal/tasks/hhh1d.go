@@ -1,0 +1,132 @@
+package tasks
+
+import (
+	"fmt"
+
+	"cocosketch/internal/flowkey"
+)
+
+// HierarchyDepth1D is the number of levels of the 1-d source-IP bit
+// hierarchy: prefix lengths 0 (root) through 32 (host).
+const HierarchyDepth1D = 33
+
+// Node1D identifies one node of the 1-d hierarchy.
+type Node1D struct {
+	Prefix flowkey.IPv4
+	Len    uint8
+}
+
+func (n Node1D) String() string {
+	return fmt.Sprintf("%v/%d", n.Prefix, n.Len)
+}
+
+// Levels1D holds one size table per prefix length; Levels1D[p] is keyed
+// by addresses masked to p bits.
+type Levels1D []map[flowkey.IPv4]uint64
+
+// Levels1DFromCounts aggregates exact (or estimated) host counts into
+// all 33 levels.
+func Levels1DFromCounts(counts map[flowkey.IPv4]uint64) Levels1D {
+	levels := make(Levels1D, HierarchyDepth1D)
+	for p := range levels {
+		levels[p] = make(map[flowkey.IPv4]uint64)
+	}
+	for addr, v := range counts {
+		for p := 0; p <= 32; p++ {
+			levels[p][addr.Prefix(p)] += v
+		}
+	}
+	return levels
+}
+
+// Query returns the aggregate size of a node (0 if absent).
+func (l Levels1D) Query(n Node1D) uint64 {
+	return l[n.Len][n.Prefix.Prefix(int(n.Len))]
+}
+
+// ExtractHHH1D computes the hierarchical heavy hitters over the full
+// bit-granularity hierarchy: processing leaves first, a node is an HHH
+// when its size minus the traffic already covered by descendant HHHs
+// reaches the threshold. The returned map holds conditioned counts.
+func ExtractHHH1D(levels Levels1D, threshold uint64) map[Node1D]uint64 {
+	lengths := make([]int, 0, HierarchyDepth1D)
+	for p := 32; p >= 0; p-- {
+		lengths = append(lengths, p)
+	}
+	byLen := make(map[int]map[flowkey.IPv4]uint64, len(levels))
+	for p, tbl := range levels {
+		byLen[p] = tbl
+	}
+	return ExtractHHHAtLengths(byLen, lengths, threshold)
+}
+
+// ExtractHHHAtLengths is the granular form of ExtractHHH1D: only the
+// given prefix lengths (strictly descending, e.g. 32,24,16,8,0 for
+// byte granularity) participate in the hierarchy. R-HHH deployments
+// commonly use byte granularity to cut the level count from 33 to 5.
+func ExtractHHHAtLengths(levels map[int]map[flowkey.IPv4]uint64, lengths []int, threshold uint64) map[Node1D]uint64 {
+	for i := 1; i < len(lengths); i++ {
+		if lengths[i] >= lengths[i-1] {
+			panic("tasks: prefix lengths must be strictly descending")
+		}
+	}
+	hhh := make(map[Node1D]uint64)
+	// covered[key] at the current level = traffic under key already
+	// attributed to deeper HHHs.
+	covered := make(map[flowkey.IPv4]uint64)
+	for li, p := range lengths {
+		parentLen := -1
+		if li+1 < len(lengths) {
+			parentLen = lengths[li+1]
+		}
+		next := make(map[flowkey.IPv4]uint64)
+		seen := make(map[flowkey.IPv4]bool, len(levels[p]))
+		for key, est := range levels[p] {
+			seen[key] = true
+			cov := covered[key]
+			var cond uint64
+			if est > cov {
+				cond = est - cov
+			}
+			up := cov
+			if cond >= threshold {
+				hhh[Node1D{Prefix: key, Len: uint8(p)}] = cond
+				// The whole node is now covered from above.
+				up = est
+				if cov > est {
+					up = cov
+				}
+			}
+			if parentLen >= 0 {
+				next[key.Prefix(parentLen)] += up
+			}
+		}
+		// Covered mass under keys the estimator does not even list
+		// still shields the ancestors.
+		for key, cov := range covered {
+			if !seen[key] && parentLen >= 0 {
+				next[key.Prefix(parentLen)] += cov
+			}
+		}
+		covered = next
+	}
+	return hhh
+}
+
+// ByteLengths1D is the byte-granularity hierarchy: 32,24,16,8,0.
+func ByteLengths1D() []int { return []int{32, 24, 16, 8, 0} }
+
+// Levels1DGranularFromCounts aggregates host counts at the given
+// prefix lengths only.
+func Levels1DGranularFromCounts(counts map[flowkey.IPv4]uint64, lengths []int) map[int]map[flowkey.IPv4]uint64 {
+	out := make(map[int]map[flowkey.IPv4]uint64, len(lengths))
+	for _, p := range lengths {
+		out[p] = make(map[flowkey.IPv4]uint64)
+	}
+	for addr, v := range counts {
+		for _, p := range lengths {
+			out[p][addr.Prefix(p)] += v
+		}
+	}
+	return out
+}

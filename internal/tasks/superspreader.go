@@ -1,0 +1,26 @@
+package tasks
+
+import (
+	"cocosketch/internal/distinct"
+	"cocosketch/internal/flowkey"
+)
+
+// Super-spreader detection: sources contacting many distinct
+// destinations (port scans, worms — the paper's §2.2 security
+// motivation). With CocoSketch the decode table of a (src,dst)-pair
+// full key answers it directly: count distinct recorded destinations
+// per source.
+
+// SuperSpreaders returns the sources whose recorded distinct
+// destination count reaches the threshold, from a (src,dst) pair
+// table.
+func SuperSpreaders(table map[flowkey.IPPair]uint64, threshold uint64) map[flowkey.IPv4]uint64 {
+	fanOut := distinct.RecordedDistinct(table, func(p flowkey.IPPair) flowkey.IPv4 { return p.Src })
+	out := make(map[flowkey.IPv4]uint64)
+	for src, n := range fanOut {
+		if n >= threshold {
+			out[src] = n
+		}
+	}
+	return out
+}

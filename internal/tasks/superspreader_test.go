@@ -1,0 +1,56 @@
+package tasks
+
+import (
+	"testing"
+
+	"cocosketch/internal/core"
+	"cocosketch/internal/flowkey"
+	"cocosketch/internal/xrand"
+)
+
+func TestSuperSpreadersExact(t *testing.T) {
+	table := map[flowkey.IPPair]uint64{}
+	scanner := ip(0x0A0A0A0A)
+	for i := uint32(0); i < 50; i++ { // scanner touches 50 destinations
+		table[flowkey.IPPair{Src: scanner, Dst: ip(0x14000000 + i)}] = 1
+	}
+	table[flowkey.IPPair{Src: ip(1), Dst: ip(2)}] = 1000 // heavy but focused
+
+	got := SuperSpreaders(table, 10)
+	if len(got) != 1 {
+		t.Fatalf("SuperSpreaders = %v", got)
+	}
+	if got[scanner] != 50 {
+		t.Fatalf("scanner fan-out = %d, want 50", got[scanner])
+	}
+}
+
+func TestSuperSpreadersFromSketch(t *testing.T) {
+	// End-to-end: a scanner hiding in heavy-tailed traffic is found
+	// from a CocoSketch decode over the (src,dst) pair key.
+	sk := core.NewBasicForMemory[flowkey.IPPair](2, 1<<20, 3)
+	rng := xrand.New(7)
+	scanner := ip(0xC0A80055)
+	for i := 0; i < 200000; i++ {
+		if rng.Uint64n(50) == 0 { // 2% of packets: one probe per victim
+			sk.Insert(flowkey.IPPair{
+				Src: scanner,
+				Dst: ip(uint32(rng.Uint64n(3000)) + 0x30000000),
+			}, 1)
+		} else {
+			sk.Insert(flowkey.IPPair{
+				Src: ip(uint32(rng.Uint64n(300)) + 0x40000000),
+				Dst: ip(uint32(rng.Uint64n(300)) + 0x50000000),
+			}, 1)
+		}
+	}
+	got := SuperSpreaders(sk.Decode(), 500)
+	if _, ok := got[scanner]; !ok {
+		t.Fatalf("scanner not detected: %v", got)
+	}
+	for src := range got {
+		if src != scanner {
+			t.Fatalf("false positive super-spreader %v", src)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+// Package tasks implements the three measurement tasks of the paper's
+// evaluation — heavy hitter detection, heavy change detection and
+// hierarchical heavy hitter (HHH) detection — together with exact
+// ground-truth computation, so estimators can be scored with the
+// metrics package.
+package tasks
+
+// DefaultThresholdFraction is the paper's heavy-hitter threshold: a
+// heavy hitter is a flow larger than 1e-4 of the total traffic (§7.1).
+const DefaultThresholdFraction = 1e-4
+
+// Threshold converts a traffic total and a fraction into an absolute
+// threshold, with a floor of 1 so empty workloads behave.
+func Threshold(total uint64, fraction float64) uint64 {
+	t := uint64(float64(total) * fraction)
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// HeavyHitters returns the flows with size >= threshold.
+func HeavyHitters[K comparable](counts map[K]uint64, threshold uint64) map[K]uint64 {
+	out := make(map[K]uint64)
+	for k, v := range counts {
+		if v >= threshold {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// HeavyChanges returns the flows whose size changed by at least
+// threshold between two windows (Krishnamurthy et al.'s heavy change
+// definition used in §7.2). The returned value is the absolute change.
+func HeavyChanges[K comparable](w1, w2 map[K]uint64, threshold uint64) map[K]uint64 {
+	out := make(map[K]uint64)
+	for k, v1 := range w1 {
+		v2 := w2[k]
+		if d := absDiff(v1, v2); d >= threshold {
+			out[k] = d
+		}
+	}
+	for k, v2 := range w2 {
+		if _, done := w1[k]; done {
+			continue
+		}
+		if v2 >= threshold {
+			out[k] = v2
+		}
+	}
+	return out
+}
+
+func absDiff(a, b uint64) uint64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}

@@ -1,0 +1,143 @@
+// Package topk provides a capacity-bounded tracker of the largest flows,
+// the "min-heap" companion of Count-Min/Count sketches (the paper's
+// CM-Heap and C-Heap baselines) and of UnivMon's per-level heavy hitters.
+package topk
+
+import "cocosketch/internal/flowkey"
+
+// Tracker keeps the k flows with the largest estimates seen so far.
+// Updating an existing flow adjusts its estimate in place; a new flow
+// enters only by exceeding the current minimum once the tracker is full.
+// The zero value is unusable; call New.
+type Tracker[K flowkey.Key] struct {
+	capacity int
+	heap     []entry[K] // min-heap on Est
+	index    map[K]int  // key -> heap position
+}
+
+type entry[K flowkey.Key] struct {
+	Key K
+	Est uint64
+}
+
+// New returns a tracker with the given capacity (at least 1).
+func New[K flowkey.Key](capacity int) *Tracker[K] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracker[K]{
+		capacity: capacity,
+		heap:     make([]entry[K], 0, capacity),
+		index:    make(map[K]int, capacity),
+	}
+}
+
+// EntryBytes is the memory charge of one tracked flow: key, 8-byte
+// estimate and 8 bytes of index overhead.
+func EntryBytes[K flowkey.Key]() int {
+	var zero K
+	return len(zero.AppendBytes(nil)) + 16
+}
+
+// Capacity returns the configured capacity.
+func (t *Tracker[K]) Capacity() int { return t.capacity }
+
+// Len returns the number of tracked flows.
+func (t *Tracker[K]) Len() int { return len(t.heap) }
+
+// Min returns the smallest tracked estimate (0 when not yet full, so
+// that any flow can enter).
+func (t *Tracker[K]) Min() uint64 {
+	if len(t.heap) < t.capacity {
+		return 0
+	}
+	return t.heap[0].Est
+}
+
+// Contains reports whether the flow is tracked.
+func (t *Tracker[K]) Contains(key K) bool {
+	_, ok := t.index[key]
+	return ok
+}
+
+// Estimate returns the tracked estimate of key (0 if untracked).
+func (t *Tracker[K]) Estimate(key K) uint64 {
+	if i, ok := t.index[key]; ok {
+		return t.heap[i].Est
+	}
+	return 0
+}
+
+// Update offers a fresh estimate for a flow. Tracked flows are adjusted
+// in place. Untracked flows displace the minimum only when est exceeds
+// it (the classic sketch-plus-heap update rule).
+func (t *Tracker[K]) Update(key K, est uint64) {
+	if i, ok := t.index[key]; ok {
+		old := t.heap[i].Est
+		t.heap[i].Est = est
+		if est >= old {
+			t.siftDown(i)
+		} else {
+			t.siftUp(i)
+		}
+		return
+	}
+	if len(t.heap) < t.capacity {
+		t.heap = append(t.heap, entry[K]{Key: key, Est: est})
+		i := len(t.heap) - 1
+		t.index[key] = i
+		t.siftUp(i)
+		return
+	}
+	if est <= t.heap[0].Est {
+		return
+	}
+	delete(t.index, t.heap[0].Key)
+	t.heap[0] = entry[K]{Key: key, Est: est}
+	t.index[key] = 0
+	t.siftDown(0)
+}
+
+// Items returns the tracked flows as a table.
+func (t *Tracker[K]) Items() map[K]uint64 {
+	out := make(map[K]uint64, len(t.heap))
+	for _, e := range t.heap {
+		out[e.Key] = e.Est
+	}
+	return out
+}
+
+func (t *Tracker[K]) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if t.heap[parent].Est <= t.heap[i].Est {
+			break
+		}
+		t.swap(i, parent)
+		i = parent
+	}
+}
+
+func (t *Tracker[K]) siftDown(i int) {
+	n := len(t.heap)
+	for {
+		smallest := i
+		if l := 2*i + 1; l < n && t.heap[l].Est < t.heap[smallest].Est {
+			smallest = l
+		}
+		if r := 2*i + 2; r < n && t.heap[r].Est < t.heap[smallest].Est {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		t.swap(i, smallest)
+		i = smallest
+	}
+}
+
+func (t *Tracker[K]) swap(i, j int) {
+	t.heap[i], t.heap[j] = t.heap[j], t.heap[i]
+	t.index[t.heap[i].Key] = i
+	t.index[t.heap[j].Key] = j
+}

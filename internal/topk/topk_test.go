@@ -1,0 +1,143 @@
+package topk
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"cocosketch/internal/flowkey"
+)
+
+func key(i uint32) flowkey.IPv4 { return flowkey.IPv4FromUint32(i) }
+
+func TestTrackerBasics(t *testing.T) {
+	tr := New[flowkey.IPv4](3)
+	if tr.Capacity() != 3 || tr.Len() != 0 || tr.Min() != 0 {
+		t.Fatal("fresh tracker state wrong")
+	}
+	tr.Update(key(1), 10)
+	tr.Update(key(2), 5)
+	tr.Update(key(3), 7)
+	if tr.Len() != 3 || tr.Min() != 5 {
+		t.Fatalf("Len=%d Min=%d", tr.Len(), tr.Min())
+	}
+	// Too small to enter.
+	tr.Update(key(4), 4)
+	if tr.Contains(key(4)) {
+		t.Fatal("flow smaller than min entered a full tracker")
+	}
+	// Large enough: displaces the min (key 2).
+	tr.Update(key(5), 6)
+	if tr.Contains(key(2)) || !tr.Contains(key(5)) {
+		t.Fatal("displacement failed")
+	}
+	if tr.Min() != 6 {
+		t.Fatalf("Min = %d, want 6", tr.Min())
+	}
+}
+
+func TestTrackerUpdateInPlace(t *testing.T) {
+	tr := New[flowkey.IPv4](2)
+	tr.Update(key(1), 10)
+	tr.Update(key(2), 20)
+	tr.Update(key(1), 30) // grow
+	if tr.Estimate(key(1)) != 30 || tr.Min() != 20 {
+		t.Fatalf("Estimate=%d Min=%d", tr.Estimate(key(1)), tr.Min())
+	}
+	tr.Update(key(1), 5) // shrink (count sketch estimates can decrease)
+	if tr.Estimate(key(1)) != 5 || tr.Min() != 5 {
+		t.Fatalf("after shrink: Estimate=%d Min=%d", tr.Estimate(key(1)), tr.Min())
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("Len changed on in-place update: %d", tr.Len())
+	}
+}
+
+func TestTrackerKeepsTrueTopK(t *testing.T) {
+	// Feeding monotonically growing estimates (like CM estimates) must
+	// leave exactly the true top-k tracked.
+	f := func(sizes []uint16) bool {
+		if len(sizes) == 0 {
+			return true
+		}
+		const k = 8
+		tr := New[flowkey.IPv4](k)
+		// Simulate per-packet updates: each flow's estimate rises to
+		// its final size.
+		final := make(map[flowkey.IPv4]uint64)
+		for i, s := range sizes {
+			fk := key(uint32(i))
+			v := uint64(s) + 1
+			final[fk] = v
+			for est := uint64(1); est <= v; est += (v + 9) / 10 {
+				tr.Update(fk, est)
+			}
+			tr.Update(fk, v)
+		}
+		// True top-k threshold.
+		vals := make([]uint64, 0, len(final))
+		for _, v := range final {
+			vals = append(vals, v)
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] > vals[j] })
+		kth := vals[min(k, len(vals))-1]
+		for fk, v := range final {
+			if v > kth && !tr.Contains(fk) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrackerHeapInvariant(t *testing.T) {
+	tr := New[flowkey.IPv4](64)
+	seq := []uint64{5, 3, 9, 1, 12, 7, 7, 2, 100, 4}
+	for i, v := range seq {
+		tr.Update(key(uint32(i%5)), v)
+		for j := 1; j < tr.Len(); j++ {
+			if tr.heap[(j-1)/2].Est > tr.heap[j].Est {
+				t.Fatalf("heap violated at step %d", i)
+			}
+		}
+		for k2, idx := range tr.index {
+			if tr.heap[idx].Key != k2 {
+				t.Fatalf("index out of sync at step %d", i)
+			}
+		}
+	}
+}
+
+func TestTrackerItems(t *testing.T) {
+	tr := New[flowkey.IPv4](4)
+	tr.Update(key(1), 10)
+	tr.Update(key(2), 20)
+	items := tr.Items()
+	if len(items) != 2 || items[key(1)] != 10 || items[key(2)] != 20 {
+		t.Fatalf("Items = %v", items)
+	}
+}
+
+func TestTrackerMinCapacity(t *testing.T) {
+	tr := New[flowkey.IPv4](0)
+	if tr.Capacity() != 1 {
+		t.Fatalf("capacity clamp failed: %d", tr.Capacity())
+	}
+	tr.Update(key(1), 1)
+	tr.Update(key(2), 2)
+	if tr.Len() != 1 || !tr.Contains(key(2)) {
+		t.Fatal("single-slot tracker misbehaved")
+	}
+}
+
+func TestEntryBytes(t *testing.T) {
+	if got := EntryBytes[flowkey.FiveTuple](); got != 13+16 {
+		t.Fatalf("EntryBytes[FiveTuple] = %d", got)
+	}
+	if got := EntryBytes[flowkey.IPv4](); got != 4+16 {
+		t.Fatalf("EntryBytes[IPv4] = %d", got)
+	}
+}

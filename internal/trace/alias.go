@@ -1,0 +1,77 @@
+package trace
+
+import "cocosketch/internal/xrand"
+
+// aliasTable samples from a discrete distribution in O(1) per draw
+// (Walker's alias method). Used to draw per-packet flow choices from
+// the Zipf flow-size distribution.
+type aliasTable struct {
+	prob  []float64
+	alias []int32
+}
+
+// newAliasTable builds a table from non-negative weights (at least one
+// positive).
+func newAliasTable(weights []float64) *aliasTable {
+	n := len(weights)
+	if n == 0 {
+		panic("trace: empty weight vector")
+	}
+	var total float64
+	for _, w := range weights {
+		if w < 0 {
+			panic("trace: negative weight")
+		}
+		total += w
+	}
+	if total <= 0 {
+		panic("trace: all weights zero")
+	}
+	t := &aliasTable{
+		prob:  make([]float64, n),
+		alias: make([]int32, n),
+	}
+	scaled := make([]float64, n)
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i, w := range weights {
+		scaled[i] = w * float64(n) / total
+		if scaled[i] < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		t.prob[s] = scaled[s]
+		t.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	for _, i := range large {
+		t.prob[i] = 1
+		t.alias[i] = i
+	}
+	for _, i := range small { // numerical leftovers
+		t.prob[i] = 1
+		t.alias[i] = i
+	}
+	return t
+}
+
+// draw returns an index distributed according to the weights.
+func (t *aliasTable) draw(rng *xrand.Source) int {
+	i := rng.Intn(len(t.prob))
+	if rng.Float64() < t.prob[i] {
+		return i
+	}
+	return int(t.alias[i])
+}

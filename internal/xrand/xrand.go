@@ -1,0 +1,101 @@
+// Package xrand provides a small, fast, deterministic random source used
+// by the sketches (probabilistic key replacement) and the workload
+// generators. It is not safe for concurrent use; give each goroutine its
+// own Source.
+//
+// The stdlib math/rand/v2 would work, but a local SplitMix64 keeps the
+// sequences stable across Go releases, which matters for reproducible
+// experiment tables.
+package xrand
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Source is a SplitMix64 generator. The zero value is a valid source
+// seeded with 0.
+type Source struct {
+	state uint64
+}
+
+// New returns a source with the given seed.
+func New(seed uint64) *Source { return &Source{state: seed} }
+
+// State returns the internal state, for checkpointing a sequence.
+func (s *Source) State() uint64 { return s.state }
+
+// SetState restores a state captured with State.
+func (s *Source) SetState(v uint64) { s.state = v }
+
+// Uint64 returns the next pseudo-random 64-bit value.
+func (s *Source) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Uint64n returns a uniform value in [0, n). It panics if n == 0.
+// Lemire's multiply-shift method with rejection keeps it unbiased.
+func (s *Source) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("xrand: Uint64n(0)")
+	}
+	hi, lo := bits.Mul64(s.Uint64(), n)
+	if lo < n {
+		thresh := -n % n
+		for lo < thresh {
+			hi, lo = bits.Mul64(s.Uint64(), n)
+		}
+	}
+	return hi
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	return int(s.Uint64n(uint64(n)))
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Bernoulli returns true with probability num/den. It panics if den == 0.
+// num >= den always returns true. The draw is exact (integer arithmetic),
+// matching the w/V replacement probability of the paper.
+func (s *Source) Bernoulli(num, den uint64) bool {
+	if den == 0 {
+		panic("xrand: Bernoulli with zero denominator")
+	}
+	if num >= den {
+		return true
+	}
+	return s.Uint64n(den) < num
+}
+
+// Shuffle permutes the n elements addressed by swap in place.
+func (s *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Norm64 returns a standard normal variate via the polar Box–Muller
+// method. Used by the MAWI-like generator for size jitter.
+func (s *Source) Norm64() float64 {
+	for {
+		u := 2*s.Float64() - 1
+		v := 2*s.Float64() - 1
+		q := u*u + v*v
+		if q > 0 && q < 1 {
+			return u * math.Sqrt(-2*math.Log(q)/q)
+		}
+	}
+}

@@ -1,0 +1,200 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+)
+
+func TestUint64nRange(t *testing.T) {
+	r := New(1)
+	for _, n := range []uint64{1, 2, 3, 7, 1000, 1 << 40} {
+		for i := 0; i < 1000; i++ {
+			if v := r.Uint64n(n); v >= n {
+				t.Fatalf("Uint64n(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestUint64nPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uint64n(0) did not panic")
+		}
+	}()
+	New(1).Uint64n(0)
+}
+
+func TestUint64nUniform(t *testing.T) {
+	r := New(7)
+	const n, draws = 10, 100000
+	var counts [n]int
+	for i := 0; i < draws; i++ {
+		counts[r.Uint64n(n)]++
+	}
+	want := draws / n
+	for b, c := range counts {
+		if c < want*9/10 || c > want*11/10 {
+			t.Fatalf("bucket %d: %d draws, want about %d", b, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("mean = %v, want about 0.5", mean)
+	}
+}
+
+func TestBernoulliExact(t *testing.T) {
+	r := New(11)
+	if !r.Bernoulli(5, 5) || !r.Bernoulli(7, 5) {
+		t.Fatal("Bernoulli(num>=den) must be true")
+	}
+	// Statistical check of w/V replacement probability.
+	const num, den, draws = 3, 16, 200000
+	hits := 0
+	for i := 0; i < draws; i++ {
+		if r.Bernoulli(num, den) {
+			hits++
+		}
+	}
+	got := float64(hits) / draws
+	want := float64(num) / den
+	if math.Abs(got-want) > 0.005 {
+		t.Fatalf("Bernoulli(%d,%d) rate = %v, want %v", num, den, got, want)
+	}
+}
+
+func TestBernoulliZeroNum(t *testing.T) {
+	r := New(13)
+	for i := 0; i < 1000; i++ {
+		if r.Bernoulli(0, 10) {
+			t.Fatal("Bernoulli(0, n) returned true")
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed produced different sequences")
+		}
+	}
+	c := New(43)
+	same := 0
+	b = New(42)
+	for i := 0; i < 100; i++ {
+		if b.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatal("different seeds produced identical values")
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	r := New(5)
+	xs := make([]int, 100)
+	for i := range xs {
+		xs[i] = i
+	}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	seen := make(map[int]bool)
+	for _, v := range xs {
+		if seen[v] {
+			t.Fatalf("value %d duplicated after shuffle", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 100 {
+		t.Fatalf("shuffle lost elements: %d distinct", len(seen))
+	}
+}
+
+func TestNorm64Moments(t *testing.T) {
+	r := New(9)
+	const n = 200000
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.Norm64()
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean = %v, want about 0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Fatalf("normal variance = %v, want about 1", variance)
+	}
+}
+
+func TestStateRoundTrip(t *testing.T) {
+	a := New(99)
+	_ = a.Uint64()
+	_ = a.Uint64()
+	saved := a.State()
+	want := []uint64{a.Uint64(), a.Uint64(), a.Uint64()}
+	b := New(0)
+	b.SetState(saved)
+	for i, w := range want {
+		if got := b.Uint64(); got != w {
+			t.Fatalf("restored draw %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestBernoulliPanicsOnZeroDen(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Bernoulli(_, 0) did not panic")
+		}
+	}()
+	New(1).Bernoulli(1, 0)
+}
+
+func TestShuffleSingleElement(t *testing.T) {
+	r := New(2)
+	xs := []int{42}
+	r.Shuffle(1, func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	if xs[0] != 42 {
+		t.Fatal("single-element shuffle changed data")
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkBernoulli(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Bernoulli(3, uint64(i)+16)
+	}
+}
