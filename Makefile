@@ -1,0 +1,37 @@
+GO ?= go
+
+.PHONY: build test race bench bench-insert bench-ring fuzz fmt clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-check the concurrent packages (SPSC ring + pipeline, sharded
+# inserts, network-wide merge workers).
+race:
+	$(GO) test -race ./internal/ovs/... ./internal/core/... ./internal/netwide/...
+
+# Hot-path microbenchmarks: single vs batched insert for both sketch
+# variants, plus hashing.
+bench-insert:
+	$(GO) test -run '^$$' -bench 'BenchmarkInsertCoco' -benchmem .
+	$(GO) test -run '^$$' -bench 'Bob32Multi|HashSeeds' -benchmem ./internal/hash/ ./internal/flowkey/
+
+# Ring transfer microbenchmarks: uncached vs cached indices, single vs
+# batch operations.
+bench-ring:
+	$(GO) test -run '^$$' -bench 'BenchmarkRingSPSC' ./internal/ovs/
+
+bench: bench-insert bench-ring
+
+# Short fuzz pass over the multi-seed hash (equivalence with Bob32).
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzBob32Multi -fuzztime 30s ./internal/hash/
+
+fmt:
+	gofmt -l -w .
+
+clean:
+	rm -f cocosketch.test BENCH_cocobench.json

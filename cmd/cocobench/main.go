@@ -6,10 +6,12 @@
 //
 //	cocobench -list
 //	cocobench -run fig8,fig9 [-packets 2000000] [-seed 1] [-quick] [-bytes] [-format csv]
+//	cocobench -run fig14,fig15a -json   (also writes BENCH_cocobench.json)
 //	cocobench -run all
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -19,6 +21,73 @@ import (
 
 	"cocosketch/internal/experiments"
 )
+
+// benchJSONFile is where -json writes the machine-readable throughput
+// records, so the performance trajectory across PRs can be tracked by
+// tooling (see README "Performance").
+const benchJSONFile = "BENCH_cocobench.json"
+
+// throughputRecord is one Mpps data point extracted from an experiment
+// table. Labels carries the remaining columns of the row (algorithm,
+// key count, thread count, …) as printed.
+type throughputRecord struct {
+	Experiment string            `json:"experiment"`
+	Mpps       float64           `json:"mpps"`
+	Labels     map[string]string `json:"labels,omitempty"`
+}
+
+// benchJSON is the top-level BENCH_cocobench.json document.
+type benchJSON struct {
+	Packets int                `json:"packets"`
+	Seed    uint64             `json:"seed"`
+	Quick   bool               `json:"quick"`
+	Results []throughputRecord `json:"results"`
+}
+
+// throughputRecords pulls every row of a table that has an Mpps-like
+// column (fig14's "Mpps", fig15b's "Mpps(basic)" …), one record per
+// row and Mpps column. The remaining columns become labels; a
+// parenthesized column suffix becomes the "series" label.
+func throughputRecords(res *experiments.TableResult) []throughputRecord {
+	var recs []throughputRecord
+	for _, row := range res.Rows {
+		labels := make(map[string]string)
+		type point struct {
+			mpps   float64
+			series string
+		}
+		var points []point
+		for i, col := range res.Columns {
+			if i >= len(row) {
+				break
+			}
+			if strings.HasPrefix(col, "Mpps") {
+				var mpps float64
+				if _, err := fmt.Sscanf(row[i], "%g", &mpps); err != nil {
+					continue
+				}
+				series := strings.TrimSuffix(strings.TrimPrefix(col, "Mpps("), ")")
+				if col == "Mpps" {
+					series = ""
+				}
+				points = append(points, point{mpps, series})
+			} else {
+				labels[col] = row[i]
+			}
+		}
+		for _, p := range points {
+			rl := make(map[string]string, len(labels)+1)
+			for k, v := range labels {
+				rl[k] = v
+			}
+			if p.series != "" {
+				rl["series"] = p.series
+			}
+			recs = append(recs, throughputRecord{Experiment: res.ID, Mpps: p.mpps, Labels: rl})
+		}
+	}
+	return recs
+}
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -35,6 +104,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		quick   = fs.Bool("quick", false, "reduced sweeps and trace size")
 		bytes   = fs.Bool("bytes", false, "measure byte counts instead of packet counts (fig8/fig9)")
 		format  = fs.String("format", "text", "output format: text or csv")
+		jsonOut = fs.Bool("json", false, "also write throughput (Mpps) results to "+benchJSONFile)
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -62,6 +132,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cfg := experiments.RunConfig{Packets: *packets, Seed: *seed, Quick: *quick, Bytes: *bytes}
 
 	failed := false
+	var bench benchJSON
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
 		runner, ok := experiments.Lookup(id)
@@ -83,6 +154,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stdout, res.String())
 			fmt.Fprintf(stdout, "(%s completed in %.1fs)\n\n", id, time.Since(start).Seconds())
 		}
+		if *jsonOut {
+			bench.Results = append(bench.Results, throughputRecords(res)...)
+		}
+	}
+	if *jsonOut {
+		bench.Packets = *packets
+		bench.Seed = *seed
+		bench.Quick = *quick
+		if bench.Results == nil {
+			bench.Results = []throughputRecord{}
+		}
+		data, err := json.MarshalIndent(&bench, "", "  ")
+		if err != nil {
+			fmt.Fprintf(stderr, "cocobench: encoding %s: %v\n", benchJSONFile, err)
+			return 1
+		}
+		if err := os.WriteFile(benchJSONFile, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(stderr, "cocobench: writing %s: %v\n", benchJSONFile, err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrote %s (%d throughput records)\n", benchJSONFile, len(bench.Results))
 	}
 	if failed {
 		return 1

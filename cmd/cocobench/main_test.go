@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -36,6 +39,51 @@ func TestRunCSV(t *testing.T) {
 	first := strings.SplitN(out.String(), "\n", 2)[0]
 	if first != "resource,Count-Min,R-HHH" {
 		t.Fatalf("csv header = %q", first)
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	dir := t.TempDir()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(wd)
+
+	var out, errw bytes.Buffer
+	if code := run([]string{"-run", "fig15b", "-json"}, &out, &errw); code != 0 {
+		t.Fatalf("exit %d: %s", code, errw.String())
+	}
+	data, err := os.ReadFile(filepath.Join(dir, benchJSONFile))
+	if err != nil {
+		t.Fatalf("missing %s: %v", benchJSONFile, err)
+	}
+	var bench benchJSON
+	if err := json.Unmarshal(data, &bench); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	// fig15b has 4 memory rows x 2 Mpps series (hardware, basic).
+	if len(bench.Results) != 8 {
+		t.Fatalf("got %d records, want 8:\n%s", len(bench.Results), data)
+	}
+	series := map[string]int{}
+	for _, r := range bench.Results {
+		if r.Experiment != "fig15b" {
+			t.Errorf("record experiment = %q", r.Experiment)
+		}
+		if r.Mpps <= 0 {
+			t.Errorf("non-positive Mpps in %+v", r)
+		}
+		if r.Labels["memoryMB"] == "" {
+			t.Errorf("record missing memoryMB label: %+v", r)
+		}
+		series[r.Labels["series"]]++
+	}
+	if series["hardware"] != 4 || series["basic"] != 4 {
+		t.Fatalf("series counts = %v, want 4 hardware + 4 basic", series)
 	}
 }
 

@@ -1,0 +1,67 @@
+package cocosketch
+
+import (
+	"testing"
+
+	"cocosketch/internal/core"
+	"cocosketch/internal/flowkey"
+	"cocosketch/internal/trace"
+)
+
+// BenchmarkInsertCoco isolates the CocoSketch update cost for both
+// variants (the quantity behind Figure 14's "Ours" series), one packet
+// per iteration.
+func BenchmarkInsertCoco(b *testing.B) {
+	tr := trace.CAIDALike(1<<17, 3)
+	mask := len(tr.Packets) - 1
+	b.Run("basic", func(b *testing.B) {
+		s := core.NewBasicForMemory[flowkey.FiveTuple](2, 500*1024, 7)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Insert(tr.Packets[i&mask].Key, 1)
+		}
+	})
+	b.Run("hardware", func(b *testing.B) {
+		s := core.NewHardwareForMemory[flowkey.FiveTuple](2, 500*1024, 7)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Insert(tr.Packets[i&mask].Key, 1)
+		}
+	})
+}
+
+// BenchmarkInsertCocoBatch measures the batched insert path (ns/op is
+// still per packet). Compare against BenchmarkInsertCoco for the
+// batching speedup.
+func BenchmarkInsertCocoBatch(b *testing.B) {
+	tr := trace.CAIDALike(1<<17, 3)
+	const batch = 256
+	keys := make([]flowkey.FiveTuple, len(tr.Packets))
+	for i := range tr.Packets {
+		keys[i] = tr.Packets[i].Key
+	}
+	run := func(b *testing.B, insert func([]flowkey.FiveTuple)) {
+		b.ResetTimer()
+		done := 0
+		for done < b.N {
+			off := done % len(keys)
+			n := batch
+			if n > b.N-done {
+				n = b.N - done
+			}
+			if n > len(keys)-off {
+				n = len(keys) - off
+			}
+			insert(keys[off : off+n])
+			done += n
+		}
+	}
+	b.Run("basic", func(b *testing.B) {
+		s := core.NewBasicForMemory[flowkey.FiveTuple](2, 500*1024, 7)
+		run(b, s.InsertBatchUnit)
+	})
+	b.Run("hardware", func(b *testing.B) {
+		s := core.NewHardwareForMemory[flowkey.FiveTuple](2, 500*1024, 7)
+		run(b, s.InsertBatchUnit)
+	})
+}

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"testing"
+
+	"cocosketch/internal/flowkey"
+	"cocosketch/internal/trace"
+)
+
+// equalTables compares the full internal state of two tables: geometry,
+// seeds, RNG state and every bucket. Bit-identical state is the
+// contract that makes the batched insert path and the flat bucket
+// layout safe refactors of the sequential path.
+func equalTables[K flowkey.Key](t *testing.T, a, b *table[K]) {
+	t.Helper()
+	if a.d != b.d || a.l != b.l {
+		t.Fatalf("geometry differs: %dx%d vs %dx%d", a.d, a.l, b.d, b.l)
+	}
+	for i := range a.seeds {
+		if a.seeds[i] != b.seeds[i] {
+			t.Fatalf("seed %d differs", i)
+		}
+	}
+	if a.rng.State() != b.rng.State() {
+		t.Fatalf("RNG state differs: %#x vs %#x (draw order changed)", a.rng.State(), b.rng.State())
+	}
+	for i := range a.buckets {
+		if a.buckets[i] != b.buckets[i] {
+			t.Fatalf("bucket %d differs: %+v vs %+v", i, a.buckets[i], b.buckets[i])
+		}
+	}
+}
+
+func equalDecode[K flowkey.Key](t *testing.T, seq, batch map[K]uint64) {
+	t.Helper()
+	if len(seq) != len(batch) {
+		t.Fatalf("decode sizes differ: %d vs %d", len(seq), len(batch))
+	}
+	for k, v := range seq {
+		if batch[k] != v {
+			t.Fatalf("decode differs for %v: %d vs %d", k, v, batch[k])
+		}
+	}
+}
+
+// batchStream builds a weighted packet stream with some zero weights
+// mixed in (Insert must skip w=0 without consuming randomness, and
+// InsertBatch must do the same).
+func batchStream(n int) ([]flowkey.FiveTuple, []uint64) {
+	tr := trace.CAIDALike(n, 5)
+	keys := make([]flowkey.FiveTuple, n)
+	ws := make([]uint64, n)
+	for i := range tr.Packets {
+		keys[i] = tr.Packets[i].Key
+		ws[i] = uint64(i % 7) // includes zeros
+	}
+	return keys, ws
+}
+
+func TestBasicInsertBatchEquivalence(t *testing.T) {
+	keys, ws := batchStream(60000)
+	cfg := Config{Arrays: 3, BucketsPerArray: 997, Seed: 42}
+
+	seq := NewBasic[flowkey.FiveTuple](cfg)
+	for i := range keys {
+		seq.Insert(keys[i], ws[i])
+	}
+	// One InsertBatch over the whole stream (multiple internal chunks).
+	batch := NewBasic[flowkey.FiveTuple](cfg)
+	batch.InsertBatch(keys, ws)
+	equalTables(t, &seq.table, &batch.table)
+	equalDecode(t, seq.Decode(), batch.Decode())
+	if seq.SumValues() != batch.SumValues() {
+		t.Fatalf("SumValues differ: %d vs %d", seq.SumValues(), batch.SumValues())
+	}
+
+	// Many small odd-sized batches must land on the same state too.
+	ragged := NewBasic[flowkey.FiveTuple](cfg)
+	for off := 0; off < len(keys); {
+		end := off + 1 + (off % 123)
+		if end > len(keys) {
+			end = len(keys)
+		}
+		ragged.InsertBatch(keys[off:end], ws[off:end])
+		off = end
+	}
+	equalTables(t, &seq.table, &ragged.table)
+}
+
+func TestBasicInsertBatchUnitEquivalence(t *testing.T) {
+	keys, _ := batchStream(60000)
+	cfg := Config{Arrays: 2, BucketsPerArray: 2048, Seed: 7}
+
+	seq := NewBasic[flowkey.FiveTuple](cfg)
+	for i := range keys {
+		seq.Insert(keys[i], 1)
+	}
+	batch := NewBasic[flowkey.FiveTuple](cfg)
+	batch.InsertBatchUnit(keys)
+	equalTables(t, &seq.table, &batch.table)
+	equalDecode(t, seq.Decode(), batch.Decode())
+	if got, want := batch.SumValues(), uint64(len(keys)); got != want {
+		t.Fatalf("SumValues = %d, want %d", got, want)
+	}
+}
+
+func TestHardwareInsertBatchEquivalence(t *testing.T) {
+	keys, ws := batchStream(60000)
+	cfg := Config{Arrays: 3, BucketsPerArray: 997, Seed: 42}
+
+	seq := NewHardware[flowkey.FiveTuple](cfg)
+	for i := range keys {
+		seq.Insert(keys[i], ws[i])
+	}
+	batch := NewHardware[flowkey.FiveTuple](cfg)
+	batch.InsertBatch(keys, ws)
+	equalTables(t, &seq.table, &batch.table)
+	equalDecode(t, seq.Decode(), batch.Decode())
+	if seq.SumValues() != batch.SumValues() {
+		t.Fatalf("SumValues differ: %d vs %d", seq.SumValues(), batch.SumValues())
+	}
+}
+
+func TestHardwareInsertBatchUnitEquivalence(t *testing.T) {
+	keys, _ := batchStream(60000)
+	cfg := Config{Arrays: 2, BucketsPerArray: 2048, Seed: 7}
+
+	seq := NewHardware[flowkey.FiveTuple](cfg)
+	for i := range keys {
+		seq.Insert(keys[i], 1)
+	}
+	batch := NewHardware[flowkey.FiveTuple](cfg)
+	batch.InsertBatchUnit(keys)
+	equalTables(t, &seq.table, &batch.table)
+	equalDecode(t, seq.Decode(), batch.Decode())
+}
+
+// TestInsertBatchInterleavedWithInsert mixes the two APIs on one
+// sketch: a batch is just a faster spelling of a run of Inserts, so
+// interleaving must continue the same deterministic sequence.
+func TestInsertBatchInterleavedWithInsert(t *testing.T) {
+	keys, ws := batchStream(30000)
+	cfg := Config{Arrays: 2, BucketsPerArray: 1024, Seed: 11}
+
+	seq := NewBasic[flowkey.FiveTuple](cfg)
+	for i := range keys {
+		seq.Insert(keys[i], ws[i])
+	}
+	mixed := NewBasic[flowkey.FiveTuple](cfg)
+	third := len(keys) / 3
+	for i := 0; i < third; i++ {
+		mixed.Insert(keys[i], ws[i])
+	}
+	mixed.InsertBatch(keys[third:2*third], ws[third:2*third])
+	for i := 2 * third; i < len(keys); i++ {
+		mixed.Insert(keys[i], ws[i])
+	}
+	equalTables(t, &seq.table, &mixed.table)
+}
+
+func TestInsertBatchLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("InsertBatch with mismatched lengths did not panic")
+		}
+	}()
+	s := NewBasic[flowkey.FiveTuple](Config{Arrays: 2, BucketsPerArray: 8, Seed: 1})
+	s.InsertBatch(make([]flowkey.FiveTuple, 3), make([]uint64, 2))
+}
+
+// TestInsertBatchIPv4 covers a second key type end to end through the
+// batched path (IPv4 exercises the zero-block hash specialization).
+func TestInsertBatchIPv4(t *testing.T) {
+	cfg := Config{Arrays: 2, BucketsPerArray: 512, Seed: 3}
+	keys := make([]flowkey.IPv4, 40000)
+	for i := range keys {
+		keys[i] = flowkey.IPv4FromUint32(uint32(i*2654435761) >> 12)
+	}
+	seq := NewBasic[flowkey.IPv4](cfg)
+	for _, k := range keys {
+		seq.Insert(k, 1)
+	}
+	batch := NewBasic[flowkey.IPv4](cfg)
+	batch.InsertBatchUnit(keys)
+	equalTables(t, &seq.table, &batch.table)
+}

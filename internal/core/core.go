@@ -60,12 +60,22 @@ func ConfigForMemory[K flowkey.Key](d, memoryBytes int, seed uint64) Config {
 	return Config{Arrays: d, BucketsPerArray: l, Seed: seed}
 }
 
-// table holds the state shared by both variants.
+// table holds the state shared by both variants. Buckets live in one
+// contiguous slice (bucket (i,j) of the logical d×l grid is at i·l+j)
+// so the per-packet walk over the d arrays touches memory behind a
+// single base pointer instead of chasing d slice headers.
 type table[K flowkey.Key] struct {
-	d, l   int
-	seeds  []uint32
-	arrays [][]Bucket[K]
-	rng    *xrand.Source
+	d, l    int
+	seeds   []uint32
+	buckets []Bucket[K]
+	rng     *xrand.Source
+	// hbuf is the per-insert scratch for encode-once hashing (len d).
+	// Sketches are single-goroutine (see package comment), so one
+	// buffer per table keeps every insert and query allocation-free.
+	hbuf []uint32
+	// idxbuf holds precomputed bucket indices for InsertBatch, d per
+	// packet; it grows to one chunk and is reused.
+	idxbuf []uint32
 }
 
 func newTable[K flowkey.Key](cfg Config) table[K] {
@@ -77,16 +87,13 @@ func newTable[K flowkey.Key](cfg Config) table[K] {
 	for i := range seeds {
 		seeds[i] = uint32(sr.Uint64())
 	}
-	arrays := make([][]Bucket[K], cfg.Arrays)
-	for i := range arrays {
-		arrays[i] = make([]Bucket[K], cfg.BucketsPerArray)
-	}
 	return table[K]{
-		d:      cfg.Arrays,
-		l:      cfg.BucketsPerArray,
-		seeds:  seeds,
-		arrays: arrays,
-		rng:    xrand.New(cfg.Seed),
+		d:       cfg.Arrays,
+		l:       cfg.BucketsPerArray,
+		seeds:   seeds,
+		buckets: make([]Bucket[K], cfg.Arrays*cfg.BucketsPerArray),
+		rng:     xrand.New(cfg.Seed),
+		hbuf:    make([]uint32, cfg.Arrays),
 	}
 }
 
@@ -94,6 +101,41 @@ func newTable[K flowkey.Key](cfg Config) table[K] {
 // range reduction).
 func (t *table[K]) index(h uint32) int {
 	return int((uint64(h) * uint64(t.l)) >> 32)
+}
+
+// hashIndices fills t.hbuf with the d bucket indices of key, encoding
+// the key once for all seeds, and returns the buffer.
+func (t *table[K]) hashIndices(key K) []uint32 {
+	hs := t.hbuf
+	key.HashSeeds(t.seeds, hs)
+	for i, h := range hs {
+		hs[i] = uint32(t.index(h))
+	}
+	return hs
+}
+
+// insertBatchChunk bounds the index buffer used by InsertBatch: packets
+// are processed in chunks, hashing a whole chunk before touching any
+// bucket so the hash and update phases each stay in their own working
+// set (DPDK-style burst processing).
+const insertBatchChunk = 256
+
+// batchIndices hashes keys (one encode per key) and returns the flat
+// d-per-packet bucket index buffer.
+func (t *table[K]) batchIndices(keys []K) []uint32 {
+	need := len(keys) * t.d
+	if cap(t.idxbuf) < need {
+		t.idxbuf = make([]uint32, need)
+	}
+	idx := t.idxbuf[:need]
+	for p := range keys {
+		row := idx[p*t.d : (p+1)*t.d]
+		keys[p].HashSeeds(t.seeds, row)
+		for i, h := range row {
+			row[i] = uint32(t.index(h))
+		}
+	}
+	return idx
 }
 
 // MemoryBytes reports d·l buckets at BucketBytes each.
@@ -111,10 +153,8 @@ func (t *table[K]) BucketsPerArray() int { return t.l }
 // tests: insertion conserves total weight).
 func (t *table[K]) sumValues() uint64 {
 	var sum uint64
-	for _, arr := range t.arrays {
-		for i := range arr {
-			sum += arr[i].Val
-		}
+	for i := range t.buckets {
+		sum += t.buckets[i].Val
 	}
 	return sum
 }
@@ -143,15 +183,24 @@ func (s *Basic[K]) Insert(key K, w uint64) {
 	if w == 0 {
 		return
 	}
+	s.insertAt(key, w, s.hashIndices(key))
+}
+
+// insertAt runs the update with the d bucket indices already computed.
+// The control flow (and therefore the RNG draw sequence) is identical
+// to the pre-batching per-packet path, which the equivalence tests pin.
+func (s *Basic[K]) insertAt(key K, w uint64, idx []uint32) {
 	// Pass 1: a matching bucket absorbs the packet with zero variance
 	// increment (Theorem 2). Track the minimum bucket along the way,
 	// breaking ties uniformly at random (paper §4.1).
+	buckets := s.buckets
 	minVal := ^uint64(0)
-	minArr, minIdx := -1, -1
+	minPos := -1
 	ties := 0
+	base := 0
 	for i := 0; i < s.d; i++ {
-		j := s.index(key.Hash(s.seeds[i]))
-		b := &s.arrays[i][j]
+		pos := base + int(idx[i])
+		b := &buckets[pos]
 		if b.Val != 0 && b.Key == key {
 			b.Val += w
 			return
@@ -159,34 +208,79 @@ func (s *Basic[K]) Insert(key K, w uint64) {
 		switch {
 		case b.Val < minVal:
 			minVal = b.Val
-			minArr, minIdx = i, j
+			minPos = pos
 			ties = 1
 		case b.Val == minVal:
 			// Reservoir-sample among equal minima so each is
 			// selected with probability 1/ties.
 			ties++
 			if s.rng.Uint64n(uint64(ties)) == 0 {
-				minArr, minIdx = i, j
+				minPos = pos
 			}
 		}
+		base += s.l
 	}
 	// Pass 2: increment the minimum bucket and replace its key with
 	// probability w / V_new (Theorem 1).
-	b := &s.arrays[minArr][minIdx]
+	b := &buckets[minPos]
 	b.Val += w
 	if s.rng.Bernoulli(w, b.Val) {
 		b.Key = key
 	}
 }
 
+// InsertBatch inserts keys[p] with weight ws[p] for every p, in order.
+// The bucket state, decode output and RNG sequence are bit-identical
+// to the equivalent sequence of Insert calls; the batch path only
+// reorders the pure hashing work (all keys of a chunk are hashed
+// before any bucket is touched), which amortizes bounds checks and
+// keeps the two phases in separate working sets.
+func (s *Basic[K]) InsertBatch(keys []K, ws []uint64) {
+	if len(keys) != len(ws) {
+		panic("core: InsertBatch length mismatch")
+	}
+	for off := 0; off < len(keys); off += insertBatchChunk {
+		end := off + insertBatchChunk
+		if end > len(keys) {
+			end = len(keys)
+		}
+		chunk := keys[off:end]
+		idx := s.batchIndices(chunk)
+		for p := range chunk {
+			if w := ws[off+p]; w != 0 {
+				s.insertAt(chunk[p], w, idx[p*s.d:(p+1)*s.d])
+			}
+		}
+	}
+}
+
+// InsertBatchUnit inserts every key with weight 1 (the packet-count
+// hot path of the OVS pipeline and the throughput experiments).
+func (s *Basic[K]) InsertBatchUnit(keys []K) {
+	for off := 0; off < len(keys); off += insertBatchChunk {
+		end := off + insertBatchChunk
+		if end > len(keys) {
+			end = len(keys)
+		}
+		chunk := keys[off:end]
+		idx := s.batchIndices(chunk)
+		for p := range chunk {
+			s.insertAt(chunk[p], 1, idx[p*s.d:(p+1)*s.d])
+		}
+	}
+}
+
 // Query returns the recorded estimate of a full-key flow, or 0 if the
 // flow is not currently tracked.
 func (s *Basic[K]) Query(key K) uint64 {
+	idx := s.hashIndices(key)
+	base := 0
 	for i := 0; i < s.d; i++ {
-		b := &s.arrays[i][s.index(key.Hash(s.seeds[i]))]
+		b := &s.buckets[base+int(idx[i])]
 		if b.Val != 0 && b.Key == key {
 			return b.Val
 		}
+		base += s.l
 	}
 	return 0
 }
@@ -197,11 +291,9 @@ func (s *Basic[K]) Query(key K) uint64 {
 // summed defensively.
 func (s *Basic[K]) Decode() map[K]uint64 {
 	out := make(map[K]uint64, s.d*s.l)
-	for _, arr := range s.arrays {
-		for i := range arr {
-			if arr[i].Val != 0 {
-				out[arr[i].Key] += arr[i].Val
-			}
+	for i := range s.buckets {
+		if s.buckets[i].Val != 0 {
+			out[s.buckets[i].Key] += s.buckets[i].Val
 		}
 	}
 	return out
@@ -275,11 +367,57 @@ func (s *Hardware[K]) Insert(key K, w uint64) {
 	if w == 0 {
 		return
 	}
+	s.insertAt(key, w, s.hashIndices(key))
+}
+
+// insertAt runs the update with the d bucket indices already computed;
+// the RNG draw sequence matches the per-packet path exactly.
+func (s *Hardware[K]) insertAt(key K, w uint64, idx []uint32) {
+	buckets := s.buckets
+	base := 0
 	for i := 0; i < s.d; i++ {
-		b := &s.arrays[i][s.index(key.Hash(s.seeds[i]))]
+		b := &buckets[base+int(idx[i])]
 		b.Val += w
 		if b.Key != key && s.divider.Replace(s.rng, w, b.Val) {
 			b.Key = key
+		}
+		base += s.l
+	}
+}
+
+// InsertBatch inserts keys[p] with weight ws[p] for every p, in order,
+// hashing each chunk before updating any bucket. State and RNG
+// sequence are bit-identical to sequential Insert calls.
+func (s *Hardware[K]) InsertBatch(keys []K, ws []uint64) {
+	if len(keys) != len(ws) {
+		panic("core: InsertBatch length mismatch")
+	}
+	for off := 0; off < len(keys); off += insertBatchChunk {
+		end := off + insertBatchChunk
+		if end > len(keys) {
+			end = len(keys)
+		}
+		chunk := keys[off:end]
+		idx := s.batchIndices(chunk)
+		for p := range chunk {
+			if w := ws[off+p]; w != 0 {
+				s.insertAt(chunk[p], w, idx[p*s.d:(p+1)*s.d])
+			}
+		}
+	}
+}
+
+// InsertBatchUnit inserts every key with weight 1.
+func (s *Hardware[K]) InsertBatchUnit(keys []K) {
+	for off := 0; off < len(keys); off += insertBatchChunk {
+		end := off + insertBatchChunk
+		if end > len(keys) {
+			end = len(keys)
+		}
+		chunk := keys[off:end]
+		idx := s.batchIndices(chunk)
+		for p := range chunk {
+			s.insertAt(chunk[p], 1, idx[p*s.d:(p+1)*s.d])
 		}
 	}
 }
@@ -292,13 +430,16 @@ func (s *Hardware[K]) Query(key K) uint64 {
 	if s.d > len(est) {
 		vals = make([]uint64, 0, s.d)
 	}
+	idx := s.hashIndices(key)
+	base := 0
 	for i := 0; i < s.d; i++ {
-		b := &s.arrays[i][s.index(key.Hash(s.seeds[i]))]
+		b := &s.buckets[base+int(idx[i])]
 		if b.Val != 0 && b.Key == key {
 			vals = append(vals, b.Val)
 		} else {
 			vals = append(vals, 0)
 		}
+		base += s.l
 	}
 	return median(vals)
 }
@@ -306,11 +447,14 @@ func (s *Hardware[K]) Query(key K) uint64 {
 // QueryMean is the ablation combiner: mean instead of median.
 func (s *Hardware[K]) QueryMean(key K) uint64 {
 	var sum uint64
+	idx := s.hashIndices(key)
+	base := 0
 	for i := 0; i < s.d; i++ {
-		b := &s.arrays[i][s.index(key.Hash(s.seeds[i]))]
+		b := &s.buckets[base+int(idx[i])]
 		if b.Val != 0 && b.Key == key {
 			sum += b.Val
 		}
+		base += s.l
 	}
 	return sum / uint64(s.d)
 }
@@ -319,15 +463,13 @@ func (s *Hardware[K]) QueryMean(key K) uint64 {
 // re-queried so its estimate is the cross-array median.
 func (s *Hardware[K]) Decode() map[K]uint64 {
 	out := make(map[K]uint64, s.d*s.l)
-	for _, arr := range s.arrays {
-		for i := range arr {
-			if arr[i].Val == 0 {
-				continue
-			}
-			k := arr[i].Key
-			if _, done := out[k]; !done {
-				out[k] = s.Query(k)
-			}
+	for i := range s.buckets {
+		if s.buckets[i].Val == 0 {
+			continue
+		}
+		k := s.buckets[i].Key
+		if _, done := out[k]; !done {
+			out[k] = s.Query(k)
 		}
 	}
 	return out

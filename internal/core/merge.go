@@ -56,10 +56,8 @@ func (t *table[K]) mergeTable(other *table[K]) error {
 	if !t.compatible(other) {
 		return ErrIncompatible
 	}
-	for i := range t.arrays {
-		for j := range t.arrays[i] {
-			mergeBuckets(t, &t.arrays[i][j], &other.arrays[i][j])
-		}
+	for i := range t.buckets {
+		mergeBuckets(t, &t.buckets[i], &other.buckets[i])
 	}
 	return nil
 }
@@ -90,15 +88,17 @@ func (t *table[K]) compressTable(factor int) error {
 			return fmt.Errorf("core: cannot halve %d buckets", t.l)
 		}
 		half := t.l / 2
-		for i := range t.arrays {
-			arr := t.arrays[i]
+		// Compact the flat layout in place: the write position
+		// i·half+j never passes the read position i·l+2j, so the
+		// forward sweep is safe.
+		for i := 0; i < t.d; i++ {
 			for j := 0; j < half; j++ {
-				merged := arr[2*j]
-				mergeBuckets(t, &merged, &arr[2*j+1])
-				arr[j] = merged
+				merged := t.buckets[i*t.l+2*j]
+				mergeBuckets(t, &merged, &t.buckets[i*t.l+2*j+1])
+				t.buckets[i*half+j] = merged
 			}
-			t.arrays[i] = arr[:half]
 		}
+		t.buckets = t.buckets[:t.d*half]
 		t.l = half
 	}
 	return nil

@@ -39,11 +39,9 @@ func (t *table[K]) marshal(variant byte) []byte {
 	for _, s := range t.seeds {
 		out = binary.LittleEndian.AppendUint32(out, s)
 	}
-	for _, arr := range t.arrays {
-		for i := range arr {
-			out = arr[i].Key.AppendBytes(out)
-			out = binary.LittleEndian.AppendUint64(out, arr[i].Val)
-		}
+	for i := range t.buckets {
+		out = t.buckets[i].Key.AppendBytes(out)
+		out = binary.LittleEndian.AppendUint64(out, t.buckets[i].Val)
 	}
 	return out
 }
@@ -99,7 +97,7 @@ func unmarshalTable[K flowkey.Key](data []byte, wantVariant byte, decode KeyDeco
 			off += keySize
 			val := binary.LittleEndian.Uint64(data[off : off+8])
 			off += 8
-			t.arrays[i][j] = Bucket[K]{Key: key, Val: val}
+			t.buckets[i*l+j] = Bucket[K]{Key: key, Val: val}
 		}
 	}
 	return t, nil

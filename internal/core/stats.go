@@ -38,7 +38,8 @@ func (t *table[K]) stats() Stats {
 		MinValue:        ^uint64(0),
 		PerArrayWeight:  make([]uint64, t.d),
 	}
-	for i, arr := range t.arrays {
+	for i := 0; i < t.d; i++ {
+		arr := t.buckets[i*t.l : (i+1)*t.l]
 		for j := range arr {
 			v := arr[j].Val
 			if v == 0 {

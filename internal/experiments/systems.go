@@ -35,6 +35,20 @@ type fullKeyDecoder interface {
 	Decode() map[flowkey.FiveTuple]uint64
 }
 
+// batchSketch is satisfied by sketches with a batched unit-weight
+// insert (the CocoSketch variants; see core.InsertBatchUnit).
+type batchSketch interface {
+	InsertBatchUnit(keys []flowkey.FiveTuple)
+}
+
+// BatchInstance is an Instance with a batched unit-weight insert. The
+// throughput experiments feed bursts through it so the Fig. 14/15
+// reproductions exercise the same hot path as the OVS pipeline.
+type BatchInstance interface {
+	Instance
+	InsertBatchUnit(keys []flowkey.FiveTuple)
+}
+
 // aggInstance runs ONE full-key sketch and answers every mask by
 // aggregation — CocoSketch's and USS's mode of operation.
 type aggInstance struct {
@@ -43,6 +57,18 @@ type aggInstance struct {
 }
 
 func (a *aggInstance) Insert(key flowkey.FiveTuple, w uint64) { a.sketch.Insert(key, w) }
+
+// InsertBatchUnit feeds the sketch's batched path when it has one and
+// falls back to per-packet inserts otherwise.
+func (a *aggInstance) InsertBatchUnit(keys []flowkey.FiveTuple) {
+	if bs, ok := a.sketch.(batchSketch); ok {
+		bs.InsertBatchUnit(keys)
+		return
+	}
+	for _, k := range keys {
+		a.sketch.Insert(k, 1)
+	}
+}
 
 func (a *aggInstance) Tables() []map[flowkey.FiveTuple]uint64 {
 	full := a.sketch.Decode()

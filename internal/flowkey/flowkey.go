@@ -23,6 +23,11 @@ type Key interface {
 	comparable
 	// Hash returns a 32-bit hash of the key under the given seed.
 	Hash(seed uint32) uint32
+	// HashSeeds computes Hash for every seed, writing the results to
+	// out[:len(seeds)]. The key is encoded once, so a d-array sketch
+	// pays one serialization per packet instead of d (encode-once
+	// hashing).
+	HashSeeds(seeds []uint32, out []uint32)
 	// AppendBytes appends the canonical byte encoding of the key to dst
 	// and returns the extended slice.
 	AppendBytes(dst []byte) []byte
@@ -60,6 +65,18 @@ func (k FiveTuple) Hash(seed uint32) uint32 {
 	return hash.Bob32(b, seed)
 }
 
+// HashSeeds hashes the canonical encoding once under every seed. The
+// lane words are built straight from the struct fields (matching the
+// little-endian decode of the canonical 13-byte encoding), so the hot
+// path never materializes the byte encoding.
+func (k FiveTuple) HashSeeds(seeds []uint32, out []uint32) {
+	w0 := uint32(k.SrcIP[0]) | uint32(k.SrcIP[1])<<8 | uint32(k.SrcIP[2])<<16 | uint32(k.SrcIP[3])<<24
+	w1 := uint32(k.DstIP[0]) | uint32(k.DstIP[1])<<8 | uint32(k.DstIP[2])<<16 | uint32(k.DstIP[3])<<24
+	// Bytes 8–11 are the big-endian ports, decoded as a little-endian word.
+	w2 := uint32(k.SrcPort>>8) | uint32(k.SrcPort&0xff)<<8 | uint32(k.DstPort>>8)<<16 | uint32(k.DstPort&0xff)<<24
+	hash.Bob32MultiBlock(w0, w1, w2, uint32(k.Proto), 0, FiveTupleLen, seeds, out)
+}
+
 // String renders the flow as "src:port->dst:port/proto".
 func (k FiveTuple) String() string {
 	return fmt.Sprintf("%s:%d->%s:%d/%d",
@@ -92,6 +109,12 @@ func (k IPv4) AppendBytes(dst []byte) []byte { return append(dst, k[0], k[1], k[
 func (k IPv4) Hash(seed uint32) uint32 {
 	var buf [4]byte = k
 	return hash.Bob32(buf[:], seed)
+}
+
+// HashSeeds hashes the address once under every seed.
+func (k IPv4) HashSeeds(seeds []uint32, out []uint32) {
+	ta := uint32(k[0]) | uint32(k[1])<<8 | uint32(k[2])<<16 | uint32(k[3])<<24
+	hash.Bob32MultiTail(ta, 0, 4, seeds, out)
 }
 
 // Uint32 returns the address as a big-endian integer.
@@ -140,6 +163,15 @@ func (k IPv6) Hash(seed uint32) uint32 {
 	return hash.Bob32(buf[:], seed)
 }
 
+// HashSeeds hashes the address once under every seed.
+func (k IPv6) HashSeeds(seeds []uint32, out []uint32) {
+	w0 := uint32(k[0]) | uint32(k[1])<<8 | uint32(k[2])<<16 | uint32(k[3])<<24
+	w1 := uint32(k[4]) | uint32(k[5])<<8 | uint32(k[6])<<16 | uint32(k[7])<<24
+	w2 := uint32(k[8]) | uint32(k[9])<<8 | uint32(k[10])<<16 | uint32(k[11])<<24
+	ta := uint32(k[12]) | uint32(k[13])<<8 | uint32(k[14])<<16 | uint32(k[15])<<24
+	hash.Bob32MultiBlock(w0, w1, w2, ta, 0, 16, seeds, out)
+}
+
 // Prefix zeroes all but the leading bits of the address.
 func (k IPv6) Prefix(bits int) IPv6 {
 	if bits < 0 || bits > 128 {
@@ -183,6 +215,13 @@ func (k IPPair) Hash(seed uint32) uint32 {
 	var buf [8]byte
 	b := k.AppendBytes(buf[:0])
 	return hash.Bob32(b, seed)
+}
+
+// HashSeeds hashes the 8-byte encoding once under every seed.
+func (k IPPair) HashSeeds(seeds []uint32, out []uint32) {
+	ta := uint32(k.Src[0]) | uint32(k.Src[1])<<8 | uint32(k.Src[2])<<16 | uint32(k.Src[3])<<24
+	tb := uint32(k.Dst[0]) | uint32(k.Dst[1])<<8 | uint32(k.Dst[2])<<16 | uint32(k.Dst[3])<<24
+	hash.Bob32MultiTail(ta, tb, 8, seeds, out)
 }
 
 // Prefix applies independent prefix lengths to the two addresses.

@@ -1,0 +1,97 @@
+package flowkey
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestHashSeedsMatchesHash pins the encode-once path of every key type
+// to the per-seed Hash reference: HashSeeds must agree with Hash for
+// each seed, since the sketches index buckets through both paths.
+func TestHashSeedsMatchesHash(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	seeds := make([]uint32, 5)
+	for i := range seeds {
+		seeds[i] = rng.Uint32()
+	}
+	seeds[0] = 0 // include the degenerate seed
+
+	randBytes := func(n int) []byte {
+		b := make([]byte, n)
+		rng.Read(b)
+		return b
+	}
+
+	for trial := 0; trial < 200; trial++ {
+		ft := FiveTuple{
+			SrcPort: uint16(rng.Uint32()),
+			DstPort: uint16(rng.Uint32()),
+			Proto:   uint8(rng.Uint32()),
+		}
+		copy(ft.SrcIP[:], randBytes(4))
+		copy(ft.DstIP[:], randBytes(4))
+		var v4 IPv4
+		copy(v4[:], randBytes(4))
+		var v6 IPv6
+		copy(v6[:], randBytes(16))
+		pair := IPPair{Src: v4, Dst: IPv4{v6[0], v6[1], v6[2], v6[3]}}
+
+		check := func(name string, hashSeeds func([]uint32, []uint32), hash func(uint32) uint32) {
+			out := make([]uint32, len(seeds))
+			hashSeeds(seeds, out)
+			for i, s := range seeds {
+				if want := hash(s); out[i] != want {
+					t.Fatalf("%s: seed %#x: HashSeeds=%#x, Hash=%#x", name, s, out[i], want)
+				}
+			}
+		}
+		check("FiveTuple", ft.HashSeeds, ft.Hash)
+		check("IPv4", v4.HashSeeds, v4.Hash)
+		check("IPv6", v6.HashSeeds, v6.Hash)
+		check("IPPair", pair.HashSeeds, pair.Hash)
+	}
+}
+
+// TestHashSeedsZeroValue covers the zero keys used as empty-bucket
+// sentinels.
+func TestHashSeedsZeroValue(t *testing.T) {
+	seeds := []uint32{0, 1, ^uint32(0)}
+	out := make([]uint32, len(seeds))
+
+	var ft FiveTuple
+	ft.HashSeeds(seeds, out)
+	for i, s := range seeds {
+		if out[i] != ft.Hash(s) {
+			t.Fatalf("zero FiveTuple seed %#x mismatch", s)
+		}
+	}
+	var v6 IPv6
+	v6.HashSeeds(seeds, out)
+	for i, s := range seeds {
+		if out[i] != v6.Hash(s) {
+			t.Fatalf("zero IPv6 seed %#x mismatch", s)
+		}
+	}
+}
+
+// BenchmarkFiveTupleHashSeeds measures the d=2 per-packet hashing cost;
+// compare two BenchmarkFiveTupleHash calls.
+func BenchmarkFiveTupleHashSeeds(b *testing.B) {
+	k := FiveTuple{SrcIP: [4]byte{10, 0, 0, 1}, DstIP: [4]byte{10, 0, 0, 2}, SrcPort: 1234, DstPort: 80, Proto: 6}
+	seeds := []uint32{42, 77}
+	var out [2]uint32
+	for i := 0; i < b.N; i++ {
+		k.SrcPort = uint16(i)
+		k.HashSeeds(seeds, out[:])
+	}
+}
+
+// BenchmarkFiveTupleHash is the per-seed reference path.
+func BenchmarkFiveTupleHash(b *testing.B) {
+	k := FiveTuple{SrcIP: [4]byte{10, 0, 0, 1}, DstIP: [4]byte{10, 0, 0, 2}, SrcPort: 1234, DstPort: 80, Proto: 6}
+	for i := 0; i < b.N; i++ {
+		k.SrcPort = uint16(i)
+		_ = k.Hash(42)
+		_ = k.Hash(77)
+	}
+}

@@ -69,6 +69,189 @@ func Bob32(key []byte, seed uint32) uint32 {
 	return c
 }
 
+// Bob32Multi computes Bob32(key, seeds[i]) for every seed, writing the
+// results to out[:len(seeds)]. It is equivalent to calling Bob32 once
+// per seed but decodes the key bytes into 32-bit lane words only once
+// (encode-once hashing; see DESIGN.md "Hot-path engineering"). Keys
+// shorter than 24 bytes — every flow-key type in this repository —
+// additionally run a hand-inlined mixing loop, as mix exceeds the
+// compiler's inlining budget.
+func Bob32Multi(key []byte, seeds []uint32, out []uint32) {
+	n := len(key)
+	if n < 12 {
+		ta, tb, tc := tailLanes(key, n)
+		Bob32MultiTail(ta, tb, tc, seeds, out)
+		return
+	}
+	if n < 24 {
+		w0 := uint32(key[0]) | uint32(key[1])<<8 | uint32(key[2])<<16 | uint32(key[3])<<24
+		w1 := uint32(key[4]) | uint32(key[5])<<8 | uint32(key[6])<<16 | uint32(key[7])<<24
+		w2 := uint32(key[8]) | uint32(key[9])<<8 | uint32(key[10])<<16 | uint32(key[11])<<24
+		ta, tb, tc := tailLanes(key[12:], n)
+		Bob32MultiBlock(w0, w1, w2, ta, tb, tc, seeds, out)
+		return
+	}
+	// Longer keys are off the per-packet hot path; the byte encoding is
+	// still shared across seeds.
+	for s, seed := range seeds {
+		out[s] = Bob32(key, seed)
+	}
+}
+
+// Bob32MultiTail is the multi-seed hash of a key shorter than 12 bytes
+// whose tail lane accumulators (see tailLanes; tc must include the key
+// length) have already been decoded. Fixed-layout key types call this
+// directly so the bytes never round-trip through memory.
+func Bob32MultiTail(ta, tb, tc uint32, seeds []uint32, out []uint32) {
+	for s, seed := range seeds {
+		a := 0x9e3779b9 + ta
+		b := 0x9e3779b9 + tb
+		c := seed + tc
+		a -= b
+		a -= c
+		a ^= c >> 13
+		b -= c
+		b -= a
+		b ^= a << 8
+		c -= a
+		c -= b
+		c ^= b >> 13
+		a -= b
+		a -= c
+		a ^= c >> 12
+		b -= c
+		b -= a
+		b ^= a << 16
+		c -= a
+		c -= b
+		c ^= b >> 5
+		a -= b
+		a -= c
+		a ^= c >> 3
+		b -= c
+		b -= a
+		b ^= a << 10
+		c -= a
+		c -= b
+		c ^= b >> 15
+		out[s] = c
+	}
+}
+
+// Bob32MultiBlock is the multi-seed hash of a 12–23 byte key decoded
+// into its first-block lane words (little-endian w0‖w1‖w2 = bytes
+// 0–11) and the tail accumulators of the remaining bytes (tc including
+// the total key length). The mixing step is hand-inlined: it exceeds
+// the compiler's inlining budget, and this loop is the hottest code in
+// the repository (d mixes per packet in every sketch).
+func Bob32MultiBlock(w0, w1, w2, ta, tb, tc uint32, seeds []uint32, out []uint32) {
+	for s, seed := range seeds {
+		a := 0x9e3779b9 + w0
+		b := 0x9e3779b9 + w1
+		c := seed + w2
+		a -= b
+		a -= c
+		a ^= c >> 13
+		b -= c
+		b -= a
+		b ^= a << 8
+		c -= a
+		c -= b
+		c ^= b >> 13
+		a -= b
+		a -= c
+		a ^= c >> 12
+		b -= c
+		b -= a
+		b ^= a << 16
+		c -= a
+		c -= b
+		c ^= b >> 5
+		a -= b
+		a -= c
+		a ^= c >> 3
+		b -= c
+		b -= a
+		b ^= a << 10
+		c -= a
+		c -= b
+		c ^= b >> 15
+		a += ta
+		b += tb
+		c += tc
+		a -= b
+		a -= c
+		a ^= c >> 13
+		b -= c
+		b -= a
+		b ^= a << 8
+		c -= a
+		c -= b
+		c ^= b >> 13
+		a -= b
+		a -= c
+		a ^= c >> 12
+		b -= c
+		b -= a
+		b ^= a << 16
+		c -= a
+		c -= b
+		c ^= b >> 5
+		a -= b
+		a -= c
+		a ^= c >> 3
+		b -= c
+		b -= a
+		b ^= a << 10
+		c -= a
+		c -= b
+		c ^= b >> 15
+		out[s] = c
+	}
+}
+
+// tailLanes decodes Bob32's trailing-bytes accumulators for the final
+// block. n is the total key length; Bob32 adds it into the c lane,
+// which commutes with the tail bytes, so it is folded in here.
+func tailLanes(rest []byte, n int) (ta, tb, tc uint32) {
+	tc = uint32(n)
+	switch len(rest) {
+	case 11:
+		tc += uint32(rest[10]) << 24
+		fallthrough
+	case 10:
+		tc += uint32(rest[9]) << 16
+		fallthrough
+	case 9:
+		tc += uint32(rest[8]) << 8
+		fallthrough
+	case 8:
+		tb += uint32(rest[7]) << 24
+		fallthrough
+	case 7:
+		tb += uint32(rest[6]) << 16
+		fallthrough
+	case 6:
+		tb += uint32(rest[5]) << 8
+		fallthrough
+	case 5:
+		tb += uint32(rest[4])
+		fallthrough
+	case 4:
+		ta += uint32(rest[3]) << 24
+		fallthrough
+	case 3:
+		ta += uint32(rest[2]) << 16
+		fallthrough
+	case 2:
+		ta += uint32(rest[1]) << 8
+		fallthrough
+	case 1:
+		ta += uint32(rest[0])
+	}
+	return ta, tb, tc
+}
+
 // mix is Bob Jenkins' reversible 96-bit mixing step.
 func mix(a, b, c uint32) (uint32, uint32, uint32) {
 	a -= b

@@ -1,0 +1,79 @@
+package hash
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestBob32MultiMatchesBob32 pins the encode-once path to the per-call
+// reference across every key length that exercises a distinct code
+// path: empty, sub-block tails, exact block boundaries, one block plus
+// tail, and multi-block keys.
+func TestBob32MultiMatchesBob32(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	seeds := make([]uint32, 6)
+	for i := range seeds {
+		seeds[i] = rng.Uint32()
+	}
+	out := make([]uint32, len(seeds))
+	for n := 0; n <= 64; n++ {
+		key := make([]byte, n)
+		for trial := 0; trial < 16; trial++ {
+			rng.Read(key)
+			Bob32Multi(key, seeds, out)
+			for i, s := range seeds {
+				if want := Bob32(key, s); out[i] != want {
+					t.Fatalf("len=%d seed=%#x: Bob32Multi=%#x, Bob32=%#x", n, s, out[i], want)
+				}
+			}
+		}
+	}
+}
+
+// TestBob32MultiSingleSeed checks the d=1 degenerate case.
+func TestBob32MultiSingleSeed(t *testing.T) {
+	key := []byte("cocosketch")
+	var out [1]uint32
+	Bob32Multi(key, []uint32{12345}, out[:])
+	if want := Bob32(key, 12345); out[0] != want {
+		t.Fatalf("got %#x, want %#x", out[0], want)
+	}
+}
+
+// FuzzBob32Multi asserts Bob32Multi(key, seeds) == Bob32(key, seed) for
+// every seed on arbitrary byte strings — the correctness contract of
+// the encode-once hot path.
+func FuzzBob32Multi(f *testing.F) {
+	f.Add([]byte{}, uint32(0))
+	f.Add([]byte{1}, uint32(42))
+	f.Add([]byte("0123456789ab"), uint32(1))             // exactly one block
+	f.Add([]byte("0123456789abc"), uint32(7))            // 5-tuple length
+	f.Add([]byte("0123456789abcdef"), uint32(9))         // IPv6 length
+	f.Add([]byte("0123456789abcdef01234567"), uint32(3)) // two blocks
+	f.Add([]byte("0123456789abcdef0123456789abcdef"), uint32(5))
+	f.Fuzz(func(t *testing.T, key []byte, base uint32) {
+		// Derive several seeds so one fuzz input covers the whole
+		// multi-seed loop, including seed 0 and the all-ones seed.
+		seeds := []uint32{base, base + 1, base * 0x9e3779b9, 0, ^uint32(0)}
+		out := make([]uint32, len(seeds))
+		Bob32Multi(key, seeds, out)
+		for i, s := range seeds {
+			if want := Bob32(key, s); out[i] != want {
+				t.Fatalf("len=%d seed=%#x: Bob32Multi=%#x, Bob32=%#x", len(key), s, out[i], want)
+			}
+		}
+	})
+}
+
+// BenchmarkBob32Multi_13B measures the d=2 encode-once hash of a
+// 5-tuple-sized key; compare 2× BenchmarkBob32_13B.
+func BenchmarkBob32Multi_13B(b *testing.B) {
+	key := make([]byte, 13)
+	seeds := []uint32{42, 77}
+	var out [2]uint32
+	b.SetBytes(13)
+	for i := 0; i < b.N; i++ {
+		key[0] = byte(i)
+		Bob32Multi(key, seeds, out[:])
+	}
+}

@@ -29,6 +29,11 @@ type Config struct {
 	Seed uint64
 }
 
+// transferBatch is the burst size of the ring transfer loops and the
+// sketch insert batches, matching DPDK's default rx burst of 32–64
+// packets.
+const transferBatch = 64
+
 // Stats reports a run's outcome.
 type Stats struct {
 	Packets uint64
@@ -99,41 +104,62 @@ func Run(tr *trace.Trace, cfg Config) (Stats, map[flowkey.FiveTuple]uint64) {
 	wg.Add(2 * threads)
 	start := time.Now()
 	for i := 0; i < threads; i++ {
-		// The PMD thread: writes this queue's headers into the ring.
+		// The PMD thread: writes this queue's headers into the ring in
+		// bursts, as a DPDK rx_burst loop would.
 		go func(id int) {
 			defer wg.Done()
 			ring := rings[id]
-			for _, p := range shards[id] {
-				if ring.TryPush(p) {
+			shard := shards[id]
+			for off := 0; off < len(shard); {
+				end := off + transferBatch
+				if end > len(shard) {
+					end = len(shard)
+				}
+				n := ring.TryPushN(shard[off:end])
+				off += n
+				if off == end {
 					continue
 				}
 				if cfg.DropOnFull {
-					drops.Add(1)
+					// NIC-like overload: discard what did not fit
+					// in this burst and move to the next one.
+					drops.Add(uint64(end - off))
+					off = end
 					continue
 				}
-				for !ring.TryPush(p) {
-					runtime.Gosched()
-				}
+				runtime.Gosched()
 			}
 			ring.Close()
 		}(i)
-		// The measurement thread: polls the ring, updates its shard.
+		// The measurement thread: drains the ring in bursts and feeds
+		// the batched sketch insert path.
 		go func(id int) {
 			defer wg.Done()
 			ring := rings[id]
 			sk := sketches[id]
-			var p trace.Packet
+			buf := make([]trace.Packet, transferBatch)
+			keys := make([]flowkey.FiveTuple, transferBatch)
 			for {
-				if ring.TryPop(&p) {
-					if sk != nil {
-						sk.Insert(p.Key, 1)
+				n := ring.TryPopN(buf)
+				if n == 0 {
+					if ring.Closed() {
+						// Close is published after the final push;
+						// one more poll drains a push that raced
+						// the empty check above.
+						if n = ring.TryPopN(buf); n == 0 {
+							return
+						}
+					} else {
+						runtime.Gosched()
+						continue
 					}
-					continue
 				}
-				if ring.Closed() && !ring.TryPop(&p) {
-					return
+				if sk != nil {
+					for j := 0; j < n; j++ {
+						keys[j] = buf[j].Key
+					}
+					sk.InsertBatchUnit(keys[:n])
 				}
-				runtime.Gosched()
 			}
 		}(i)
 	}
