@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-insert bench-ring fuzz fmt clean
+.PHONY: build test race bench bench-insert bench-ring fuzz fmt docs clean
 
 build:
 	$(GO) build ./...
@@ -9,9 +9,15 @@ test:
 	$(GO) test ./...
 
 # Race-check the concurrent packages (SPSC ring + pipeline, sharded
-# inserts, network-wide merge workers).
+# ingest engine, network-wide merge workers).
 race:
-	$(GO) test -race ./internal/ovs/... ./internal/core/... ./internal/netwide/...
+	$(GO) test -race ./internal/ovs/... ./internal/core/... ./internal/netwide/... ./internal/shard/...
+
+# Documentation gate: go vet plus the doc-comment linter (fails on any
+# package or exported identifier missing a doc comment).
+docs:
+	$(GO) vet ./...
+	$(GO) run ./internal/tools/doclint .
 
 # Hot-path microbenchmarks: single vs batched insert for both sketch
 # variants, plus hashing.

@@ -3,12 +3,19 @@
 // CocoSketch and reports the sketch to a cococollector at the end of
 // each epoch.
 //
+// With -workers > 1 the epoch is ingested through the sharded engine
+// (internal/shard): N workers each update a private sketch behind an
+// SPSC ring, and the merged snapshot is absorbed into the agent's
+// epoch sketch before it is reported. Sketch memory is per worker
+// (merge compatibility requires all shards to share one geometry).
+//
 // All agents and the collector must agree on -mem, -d and -seed.
 //
 // Usage:
 //
 //	cocoagent -id 1 -collector 127.0.0.1:7700 -pcap site1.pcap
 //	cocoagent -id 2 -collector 127.0.0.1:7700 -packets 500000 -epochs 3
+//	cocoagent -id 3 -collector 127.0.0.1:7700 -packets 5000000 -workers 4
 package main
 
 import (
@@ -20,6 +27,7 @@ import (
 	"cocosketch/internal/core"
 	"cocosketch/internal/flowkey"
 	"cocosketch/internal/netwide"
+	"cocosketch/internal/shard"
 	"cocosketch/internal/trace"
 )
 
@@ -33,6 +41,7 @@ func main() {
 		memKB     = flag.Int("mem", 500, "shared sketch memory in KB")
 		d         = flag.Int("d", core.DefaultArrays, "shared number of arrays")
 		seed      = flag.Uint64("seed", 1, "shared sketch seed")
+		workers   = flag.Int("workers", 1, "ingest workers per epoch (sharded engine when > 1)")
 	)
 	flag.Parse()
 
@@ -63,8 +72,23 @@ func main() {
 		} else {
 			tr = trace.CAIDALike(*packets, *seed+uint64(*id)*1000+uint64(e))
 		}
-		for i := range tr.Packets {
-			agent.Observe(tr.Packets[i].Key, 1)
+		if *workers > 1 {
+			eng := shard.NewBasic(shard.Config{Workers: *workers, Seed: *seed}, cfg)
+			eng.Ingest(tr.Packets)
+			eng.Close()
+			merged, err := eng.Snapshot()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "cocoagent: sharded ingest: %v\n", err)
+				os.Exit(1)
+			}
+			if err := agent.Absorb(merged); err != nil {
+				fmt.Fprintf(os.Stderr, "cocoagent: absorb: %v\n", err)
+				os.Exit(1)
+			}
+		} else {
+			for i := range tr.Packets {
+				agent.Observe(tr.Packets[i].Key, 1)
+			}
 		}
 		if err := agent.Report(conn); err != nil {
 			fmt.Fprintf(os.Stderr, "cocoagent: report: %v\n", err)

@@ -7,6 +7,7 @@
 //	cocobench -list
 //	cocobench -run fig8,fig9 [-packets 2000000] [-seed 1] [-quick] [-bytes] [-format csv]
 //	cocobench -run fig14,fig15a -json   (also writes BENCH_cocobench.json)
+//	cocobench -run ext-scaling -workers 4 -json   (sharded-ingest Mpps vs workers)
 //	cocobench -run all
 package main
 
@@ -103,6 +104,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		seed    = fs.Uint64("seed", 1, "random seed for traces and sketches")
 		quick   = fs.Bool("quick", false, "reduced sweeps and trace size")
 		bytes   = fs.Bool("bytes", false, "measure byte counts instead of packet counts (fig8/fig9)")
+		workers = fs.Int("workers", 0, "max worker count of the sharded-ingest sweep (ext-scaling); 0 = min(8, GOMAXPROCS)")
 		format  = fs.String("format", "text", "output format: text or csv")
 		jsonOut = fs.Bool("json", false, "also write throughput (Mpps) results to "+benchJSONFile)
 	)
@@ -129,7 +131,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *runIDs != "all" {
 		ids = strings.Split(*runIDs, ",")
 	}
-	cfg := experiments.RunConfig{Packets: *packets, Seed: *seed, Quick: *quick, Bytes: *bytes}
+	cfg := experiments.RunConfig{
+		Packets: *packets, Seed: *seed, Quick: *quick, Bytes: *bytes, Workers: *workers,
+	}
 
 	failed := false
 	var bench benchJSON

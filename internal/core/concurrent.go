@@ -7,10 +7,18 @@ import (
 )
 
 // Concurrent wraps a basic CocoSketch with a mutex for callers that
-// cannot shard per goroutine. Sharding (one sketch per dataplane
-// thread, merged at decode — see package ovs and netwide) is strictly
-// faster; this wrapper exists for low-rate, many-writer situations
-// like control-plane bookkeeping.
+// cannot shard per goroutine.
+//
+// For high-rate ingest, prefer shard.Engine (internal/shard): it runs
+// one private sketch per worker behind SPSC rings and merges at decode
+// time, so the hot path takes no locks and scales with cores (the
+// scaling curve is the ext-scaling experiment). Use Concurrent only
+// when sharding does not pay for itself: low-rate, many-writer
+// situations like control-plane bookkeeping, where the handful of
+// contended inserts per second does not justify an engine's worker
+// goroutines, rings and per-worker sketch memory — or when callers
+// need read-your-write Query visibility immediately after Insert,
+// which a sharded engine only provides at snapshot granularity.
 type Concurrent[K flowkey.Key] struct {
 	mu sync.Mutex
 	s  *Basic[K]

@@ -149,6 +149,12 @@ func (t *table[K]) Arrays() int { return t.d }
 // BucketsPerArray returns l.
 func (t *table[K]) BucketsPerArray() int { return t.l }
 
+// reseedRNG replaces the replacement-draw random source. Hash seeds
+// are untouched, so sketches stay merge-compatible: shard.Engine uses
+// this to decorrelate the replacement draws of per-worker sketches
+// that must share one Config (and therefore one Config.Seed).
+func (t *table[K]) reseedRNG(seed uint64) { t.rng = xrand.New(seed) }
+
 // sumValues returns the sum of all bucket counters (used by invariant
 // tests: insertion conserves total weight).
 func (t *table[K]) sumValues() uint64 {
@@ -269,6 +275,12 @@ func (s *Basic[K]) InsertBatchUnit(keys []K) {
 		}
 	}
 }
+
+// Reseed replaces the replacement-draw RNG without touching the hash
+// seeds, so the sketch remains mergeable with others of the same
+// Config. Shard engines call this so workers sharing a Config do not
+// replay identical replacement-draw sequences.
+func (s *Basic[K]) Reseed(seed uint64) { s.reseedRNG(seed) }
 
 // Query returns the recorded estimate of a full-key flow, or 0 if the
 // flow is not currently tracked.
@@ -421,6 +433,10 @@ func (s *Hardware[K]) InsertBatchUnit(keys []K) {
 		}
 	}
 }
+
+// Reseed replaces the replacement-draw RNG without touching the hash
+// seeds; see Basic.Reseed.
+func (s *Hardware[K]) Reseed(seed uint64) { s.reseedRNG(seed) }
 
 // Query returns the median of the per-array estimates, where an array
 // not recording the flow contributes 0 (Theorem 3's estimator).

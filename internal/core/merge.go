@@ -66,6 +66,10 @@ func (t *table[K]) mergeTable(other *table[K]) error {
 // combine per-thread shards or measurement epochs. The other sketch is
 // left unchanged. Estimates on the merged sketch remain unbiased for
 // the concatenated stream.
+//
+// Merging into a freshly constructed (empty) sketch copies the other
+// sketch's buckets verbatim and consumes no randomness, which is how
+// shard.Engine assembles its decode view (see internal/shard).
 func (s *Basic[K]) Merge(other *Basic[K]) error {
 	return s.mergeTable(&other.table)
 }

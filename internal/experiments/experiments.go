@@ -26,6 +26,10 @@ type RunConfig struct {
 	// Bytes switches the flow-size metric from packet counts to byte
 	// counts (the paper's f can be either; §2.1).
 	Bytes bool
+	// Workers caps the sharded-ingest scaling sweep (ext-scaling):
+	// worker counts 1, 2, 4, … up to Workers. Zero means
+	// min(8, GOMAXPROCS). Throughput only scales with physical cores.
+	Workers int
 }
 
 // DefaultConfig returns the standard scaled-down configuration.

@@ -16,6 +16,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig15a", "fig15b", "fig15c", "fig15d", "fig16", "fig17",
 		"fig18a", "fig18b", "table2",
 		"ext-entropy", "ext-distinct", "headline", "ext-hhh-granularity",
+		"ext-scaling",
 	}
 	ids := IDs()
 	got := make(map[string]bool, len(ids))
@@ -169,6 +170,25 @@ func TestFig14Shape(t *testing.T) {
 	if ours6 <= el6 {
 		t.Errorf("Ours (%.2f) should beat Elastic (%.2f) at 6 keys", ours6, el6)
 	}
+}
+
+func TestExtScalingShape(t *testing.T) {
+	res := runID(t, "ext-scaling")
+	if len(res.Rows) < 1 {
+		t.Fatal("no rows")
+	}
+	if res.Rows[0][0] != "1" {
+		t.Errorf("first row workers = %s, want 1", res.Rows[0][0])
+	}
+	for _, row := range res.Rows {
+		mpps, err := strconv.ParseFloat(row[1], 64)
+		if err != nil || mpps <= 0 {
+			t.Errorf("workers=%s: bad Mpps %q", row[0], row[1])
+		}
+	}
+	// Scaling with workers requires physical cores, so the shape test
+	// only pins that every worker count completes losslessly (the
+	// runner errors on lost packets) and reports positive throughput.
 }
 
 func TestFig15bShape(t *testing.T) {

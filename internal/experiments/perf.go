@@ -2,12 +2,14 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"cocosketch/internal/baselines/uss"
 	"cocosketch/internal/core"
 	"cocosketch/internal/flowkey"
 	"cocosketch/internal/metrics"
+	"cocosketch/internal/shard"
 	"cocosketch/internal/tasks"
 	"cocosketch/internal/trace"
 )
@@ -16,6 +18,7 @@ func init() {
 	register("fig14", runFig14)
 	register("fig16", runFig16)
 	register("fig17", runFig17)
+	register("ext-scaling", runScaling)
 }
 
 // CPUGHz converts measured wall time to CPU cycles. The paper's
@@ -196,6 +199,70 @@ func runFig17(cfg RunConfig) (*TableResult, error) {
 			s.Insert(tr.Packets[i].Key, 1)
 		}
 		addRow(fmt.Sprintf("hardware d=%d", d), s.Decode())
+	}
+	return out, nil
+}
+
+// scalingWorkerCounts returns the sweep 1, 2, 4, … up to the cap
+// (always including the cap itself).
+func scalingWorkerCounts(cap int) []int {
+	var out []int
+	for w := 1; w < cap; w *= 2 {
+		out = append(out, w)
+	}
+	return append(out, cap)
+}
+
+// runScaling measures the sharded ingest engine (internal/shard) on
+// the CAIDA-like workload: Mpps vs worker count, the software scaling
+// curve of the paper's OVS deployment (§6.1: one sketch per dataplane
+// thread, merged at decode). Each run also cross-checks correctness —
+// lossless ingest must conserve the stream weight through dispatch,
+// rings and decode-time merge.
+func runScaling(cfg RunConfig) (*TableResult, error) {
+	tr := trace.CAIDALike(cfg.packets(), cfg.Seed)
+	maxWorkers := cfg.Workers
+	if maxWorkers <= 0 {
+		if maxWorkers = runtime.GOMAXPROCS(0); maxWorkers > 8 {
+			maxWorkers = 8
+		}
+	}
+	counts := scalingWorkerCounts(maxWorkers)
+	if cfg.Quick && len(counts) > 2 {
+		counts = []int{1, maxWorkers}
+	}
+
+	out := &TableResult{
+		ID:      "ext-scaling",
+		Title:   "Sharded ingest throughput vs workers (500KB/worker, CAIDA-like)",
+		Columns: []string{"workers", "Mpps", "speedup"},
+		Notes: []string{
+			"paper §6.1: one sketch per dataplane thread, merged at decode; near-linear until memory bandwidth",
+			fmt.Sprintf("host has GOMAXPROCS=%d; scaling requires physical cores (flat on a single-core host)", runtime.GOMAXPROCS(0)),
+		},
+	}
+	sketchCfg := core.ConfigForMemory[flowkey.FiveTuple](core.DefaultArrays, 500*1024, cfg.Seed+7)
+	var base float64
+	for _, w := range counts {
+		eng := shard.NewBasic(shard.Config{Workers: w, Seed: cfg.Seed, Bytes: cfg.Bytes}, sketchCfg)
+		start := time.Now()
+		eng.Ingest(tr.Packets)
+		eng.Close()
+		elapsed := time.Since(start).Seconds()
+		st := eng.Stats()
+		if st.Consumed != uint64(len(tr.Packets)) {
+			return nil, fmt.Errorf("ext-scaling: %d workers consumed %d of %d packets",
+				w, st.Consumed, len(tr.Packets))
+		}
+		mpps := float64(len(tr.Packets)) / elapsed / 1e6
+		if w == 1 {
+			base = mpps
+		}
+		speedup := 0.0
+		if base > 0 {
+			speedup = mpps / base
+		}
+		out.AddRow(w, mpps, speedup)
 	}
 	return out, nil
 }

@@ -139,6 +139,7 @@ func (k IPv4) Prefix(bits int) IPv4 {
 	return IPv4FromUint32(k.Uint32() & m)
 }
 
+// String renders the address in dotted-quad form.
 func (k IPv4) String() string { return netip.AddrFrom4(k).String() }
 
 // IPv4FromBytes decodes a canonical 4-byte encoding.
@@ -186,6 +187,7 @@ func (k IPv6) Prefix(bits int) IPv6 {
 	return out
 }
 
+// String renders the address in RFC 5952 form.
 func (k IPv6) String() string { return netip.AddrFrom16(k).String() }
 
 // IPv6FromBytes decodes a canonical 16-byte encoding.
@@ -229,6 +231,7 @@ func (k IPPair) Prefix(srcBits, dstBits int) IPPair {
 	return IPPair{Src: k.Src.Prefix(srcBits), Dst: k.Dst.Prefix(dstBits)}
 }
 
+// String renders the pair as "src->dst".
 func (k IPPair) String() string { return k.Src.String() + "->" + k.Dst.String() }
 
 // IPPairFromBytes decodes a canonical 8-byte encoding.

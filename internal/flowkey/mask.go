@@ -18,6 +18,7 @@ const (
 	numFields
 )
 
+// String names the field as it appears in mask expressions.
 func (f Field) String() string {
 	switch f {
 	case FieldSrcIP:

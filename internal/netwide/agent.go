@@ -37,6 +37,21 @@ func (a *Agent) Observe(key flowkey.FiveTuple, w uint64) {
 	a.sketch.Insert(key, w)
 }
 
+// ObserveBatch records a burst of unit-weight packets through the
+// batched insert path (the ring-drain hot path of shard.Engine and the
+// OVS pipeline).
+func (a *Agent) ObserveBatch(keys []flowkey.FiveTuple) {
+	a.sketch.InsertBatchUnit(keys)
+}
+
+// Absorb merges an externally built sketch of the shared Config into
+// the current epoch — the hand-off point for sharded ingest: a
+// shard.Engine measures the epoch's traffic across N workers, and its
+// merged snapshot lands here before Report ships it to the collector.
+func (a *Agent) Absorb(s *core.Basic[flowkey.FiveTuple]) error {
+	return a.sketch.Merge(s)
+}
+
 // Epoch returns the current epoch number.
 func (a *Agent) Epoch() uint32 { return a.epoch }
 

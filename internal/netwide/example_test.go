@@ -1,0 +1,71 @@
+package netwide_test
+
+import (
+	"fmt"
+	"net"
+
+	"cocosketch/internal/core"
+	"cocosketch/internal/netwide"
+	"cocosketch/internal/shard"
+	"cocosketch/internal/trace"
+)
+
+// Example wires one agent to a collector over an in-memory connection:
+// the agent measures an epoch of traffic, reports the serialized
+// sketch, and the collector answers a network-wide query. Sharing one
+// core.Config between both sides is what makes the sketches mergeable.
+func Example() {
+	cfg := core.Config{Arrays: 2, BucketsPerArray: 1024, Seed: 7}
+	collector := netwide.NewCollector(cfg)
+	agent := netwide.NewAgent(1, cfg)
+
+	agentConn, collectorConn := net.Pipe()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = collector.Handle(collectorConn)
+	}()
+
+	tr := trace.CAIDALike(50_000, 7)
+	for i := range tr.Packets {
+		agent.Observe(tr.Packets[i].Key, 1)
+	}
+	if err := agent.Report(agentConn); err != nil {
+		panic(err)
+	}
+	agentConn.Close()
+	<-done
+
+	fmt.Println("agents reported:", collector.AgentsReported(0))
+	_, ok := collector.Epoch(0)
+	fmt.Println("epoch queryable:", ok)
+	// Output:
+	// agents reported: 1
+	// epoch queryable: true
+}
+
+// ExampleAgent_Absorb scales one vantage point across cores: a
+// shard.Engine ingests the epoch's traffic with 4 workers, and its
+// merged snapshot is absorbed into the agent's epoch sketch. The
+// engine's workers share the agent's Config, so every merge along the
+// way is estimate-preserving.
+func ExampleAgent_Absorb() {
+	cfg := core.Config{Arrays: 2, BucketsPerArray: 1024, Seed: 7}
+	agent := netwide.NewAgent(1, cfg)
+
+	tr := trace.CAIDALike(50_000, 7)
+	eng := shard.NewBasic(shard.Config{Workers: 4, Seed: 7}, cfg)
+	eng.Ingest(tr.Packets)
+	eng.Close()
+
+	merged, err := eng.Snapshot()
+	if err != nil {
+		panic(err)
+	}
+	if err := agent.Absorb(merged); err != nil {
+		panic(err)
+	}
+	fmt.Println("epoch:", agent.Epoch())
+	// Output:
+	// epoch: 0
+}

@@ -24,6 +24,7 @@ const (
 	LayerTypePayload
 )
 
+// String names the layer type.
 func (t LayerType) String() string {
 	switch t {
 	case LayerTypeEthernet:
@@ -80,6 +81,7 @@ type Endpoint struct {
 	port uint16
 }
 
+// String renders the endpoint as "addr" or "addr:port".
 func (e Endpoint) String() string {
 	if e.port != 0 {
 		return fmt.Sprintf("%s:%d", e.addr, e.port)
@@ -95,6 +97,7 @@ type Flow struct {
 	Src, Dst Endpoint
 }
 
+// String renders the flow as "src->dst".
 func (f Flow) String() string { return f.Src.String() + "->" + f.Dst.String() }
 
 // Reverse returns the opposite direction.

@@ -36,6 +36,7 @@ const (
 	numResources
 )
 
+// String names the pipeline resource.
 func (r Resource) String() string {
 	switch r {
 	case HashDist:

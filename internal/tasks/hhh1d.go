@@ -16,6 +16,7 @@ type Node1D struct {
 	Len    uint8
 }
 
+// String renders the node as "prefix/len".
 func (n Node1D) String() string {
 	return fmt.Sprintf("%v/%d", n.Prefix, n.Len)
 }

@@ -14,6 +14,7 @@ type Node2D struct {
 	DstLen uint8
 }
 
+// String renders the node as "src/len->dst/len".
 func (n Node2D) String() string {
 	return fmt.Sprintf("%v/%d->%v/%d", n.Pair.Src, n.SrcLen, n.Pair.Dst, n.DstLen)
 }

@@ -1,0 +1,210 @@
+// Command doclint fails the build when a package or an exported
+// identifier is missing a doc comment. It backs the `make docs` target
+// together with go vet.
+//
+// Rules, per non-test Go file outside testdata:
+//
+//   - every package must carry a package doc comment on at least one
+//     of its files ("Package x ..." or, for main, "Command x ...");
+//   - every exported top-level func, type, const, var and method on an
+//     exported type must have a doc comment (a comment on the
+//     enclosing grouped declaration counts).
+//
+// Usage:
+//
+//	doclint [root]
+//
+// root defaults to the current directory; the exit status is 1 if any
+// violation is found, with one "file:line: identifier" diagnostic per
+// missing comment.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	violations, err := lintTree(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doclint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, v := range violations {
+		fmt.Println(v)
+	}
+	if len(violations) > 0 {
+		fmt.Fprintf(os.Stderr, "doclint: %d missing doc comment(s)\n", len(violations))
+		os.Exit(1)
+	}
+}
+
+// lintTree walks every directory under root that contains non-test Go
+// files and returns the sorted list of violations.
+func lintTree(root string) ([]string, error) {
+	dirs := map[string]bool{}
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "testdata" || strings.HasPrefix(name, ".") && path != root {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			dirs[filepath.Dir(path)] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var out []string
+	for dir := range dirs {
+		vs, err := lintDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, vs...)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// lintDir checks one package directory.
+func lintDir(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+
+	var out []string
+	for _, pkg := range pkgs {
+		hasPkgDoc := false
+		for _, f := range pkg.Files {
+			if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+				hasPkgDoc = true
+			}
+		}
+		if !hasPkgDoc {
+			out = append(out, fmt.Sprintf("%s: package %s has no package doc comment", dir, pkg.Name))
+		}
+		for filename, f := range pkg.Files {
+			out = append(out, lintFile(fset, filename, f)...)
+		}
+	}
+	return out, nil
+}
+
+// lintFile reports exported declarations without doc comments in one
+// file.
+func lintFile(fset *token.FileSet, filename string, f *ast.File) []string {
+	var out []string
+	report := func(pos token.Pos, what string) {
+		p := fset.Position(pos)
+		out = append(out, fmt.Sprintf("%s:%d: %s missing doc comment", filename, p.Line, what))
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || !receiverExported(d) {
+				continue
+			}
+			if d.Doc == nil {
+				report(d.Pos(), "func "+funcName(d))
+			}
+		case *ast.GenDecl:
+			if d.Tok != token.TYPE && d.Tok != token.CONST && d.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if s.Name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+						report(s.Pos(), "type "+s.Name.Name)
+					}
+				case *ast.ValueSpec:
+					// A doc comment on the grouped declaration, the
+					// spec, or a trailing line comment all count; in
+					// a documented group, later specs may also lean
+					// on the group comment.
+					if d.Doc != nil || s.Doc != nil || s.Comment != nil {
+						continue
+					}
+					for _, n := range s.Names {
+						if n.IsExported() {
+							report(s.Pos(), strings.ToLower(d.Tok.String())+" "+n.Name)
+							break
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// receiverExported reports whether a method's receiver type is
+// exported (functions without receivers count as exported scope).
+// Methods on unexported types are not reachable from other packages,
+// so they are exempt.
+func receiverExported(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr: // generic receiver T[K]
+			t = x.X
+		case *ast.IndexListExpr:
+			t = x.X
+		case *ast.Ident:
+			return x.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+// funcName renders "Recv.Name" for methods and "Name" for functions.
+func funcName(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return d.Name.Name
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr:
+			t = x.X
+		case *ast.IndexListExpr:
+			t = x.X
+		case *ast.Ident:
+			return x.Name + "." + d.Name.Name
+		default:
+			return d.Name.Name
+		}
+	}
+}
