@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-insert bench-ring fuzz fmt docs clean
+.PHONY: build test race bench bench-insert bench-ring fuzz fmt docs clean cover verify-stats
 
 build:
 	$(GO) build ./...
@@ -35,6 +35,19 @@ bench: bench-insert bench-ring
 # Short fuzz pass over the multi-seed hash (equivalence with Bob32).
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzBob32Multi -fuzztime 30s ./internal/hash/
+
+# Statistical verification: the differential matrix (every sketch
+# implementation against the exact oracle, variance-bound CIs), the
+# metamorphic invariants (batch/shard/serialize/merge equivalences) and
+# the injected-bias negative control that proves the matrix has power.
+verify-stats:
+	$(GO) test ./internal/oracle/ -run 'TestDifferentialMatrix|TestMetamorphic|TestInjectedBias' -count=1 -v
+
+# Per-package coverage floor. Exempt: demo binaries, the two thin
+# network daemons (their libraries are tested directly), build tooling.
+cover:
+	$(GO) test -cover ./... | $(GO) run ./internal/tools/coverfloor -min 75 \
+		-exempt cocosketch/examples/,cocosketch/cmd/cocoagent,cocosketch/cmd/cococollector,cocosketch/internal/tools/
 
 fmt:
 	gofmt -l -w .

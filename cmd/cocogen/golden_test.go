@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run go test -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("output differs from %s (run go test -update after verifying the change is intended)\n--- want\n%s\n--- got\n%s",
+			path, want, got)
+	}
+}
+
+// TestGoldenGenerate pins both the CLI summary line and a sha256 of the
+// emitted pcap bytes for each profile. The digest makes the on-disk
+// format part of the contract: any change to the trace generators, the
+// pcap writer, or the snaplen handling rewrites it visibly.
+func TestGoldenGenerate(t *testing.T) {
+	for _, profile := range []string{"caida", "mawi"} {
+		t.Run(profile, func(t *testing.T) {
+			dir := t.TempDir()
+			out := filepath.Join(dir, "t.pcap")
+			var stdout, stderr bytes.Buffer
+			code := run([]string{"-profile", profile, "-packets", "5000", "-seed", "3", "-o", out}, &stdout, &stderr)
+			if code != 0 {
+				t.Fatalf("exit %d: %s", code, stderr.String())
+			}
+			blob, err := os.ReadFile(out)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The summary line embeds the temp path; normalize it so the
+			// golden file is location-independent.
+			summary := bytes.ReplaceAll(stdout.Bytes(), []byte(out), []byte("OUT"))
+			record := fmt.Sprintf("%ssha256(pcap) = %x\nbytes = %d\n", summary, sha256.Sum256(blob), len(blob))
+			checkGolden(t, profile+".golden", []byte(record))
+		})
+	}
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// checkGolden compares got against testdata/<name>; -update rewrites
+// the file instead. Byte-exact comparison: the CLI output is fully
+// deterministic given (-packets, -seed, -mem), so any drift in trace
+// generation, sketch layout, query engine, or row formatting shows up
+// here first.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run go test -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("output differs from %s (run go test -update after verifying the change is intended)\n--- want\n%s\n--- got\n%s",
+			path, want, got)
+	}
+}
+
+// TestGoldenSingleQuery pins the complete stdout of a one-shot partial
+// key query on the seeded synthetic trace.
+func TestGoldenSingleQuery(t *testing.T) {
+	var out, errw bytes.Buffer
+	code := run([]string{"-packets", "20000", "-seed", "1", "-mem", "200", "-q", "SrcIP", "-top", "5"},
+		strings.NewReader(""), &out, &errw)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errw.String())
+	}
+	checkGolden(t, "single_query.golden", out.Bytes())
+}
+
+// TestGoldenSQLQuery pins the SQL front-end path (mask extracted from
+// GROUP BY) including the subnet-prefix syntax.
+func TestGoldenSQLQuery(t *testing.T) {
+	var out, errw bytes.Buffer
+	code := run([]string{"-packets", "20000", "-seed", "1", "-mem", "200", "-top", "5",
+		"-q", "SELECT DstIP, SUM(Size) FROM table GROUP BY DstIP"},
+		strings.NewReader(""), &out, &errw)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errw.String())
+	}
+	checkGolden(t, "sql_query.golden", out.Bytes())
+}
+
+// TestGoldenREPLSession pins a full interactive session: several mask
+// expressions (including a compound mask and a prefix mask), one SQL
+// query, one error, and the prompt framing around each.
+func TestGoldenREPLSession(t *testing.T) {
+	stdin := strings.NewReader(strings.Join([]string{
+		"SrcIP",
+		"SrcIP/24+DstIP",
+		"DstPort",
+		"SELECT SrcPort, SUM(Size) FROM table GROUP BY SrcPort",
+		"NoSuchField",
+		"quit",
+	}, "\n") + "\n")
+	var out, errw bytes.Buffer
+	code := run([]string{"-packets", "20000", "-seed", "1", "-mem", "200", "-top", "3"}, stdin, &out, &errw)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errw.String())
+	}
+	combined := fmt.Sprintf("%s--- stderr ---\n%s", out.String(), errw.String())
+	checkGolden(t, "repl_session.golden", []byte(combined))
+}

@@ -1,0 +1,53 @@
+package countsketch_test
+
+import (
+	"testing"
+
+	"cocosketch/internal/baselines/countsketch"
+	"cocosketch/internal/flowkey"
+	"cocosketch/internal/oracle"
+	"cocosketch/internal/xrand"
+)
+
+// External statistical test for Count Sketch. It lives outside the
+// package so it can import internal/oracle (which imports countsketch
+// for the differential matrix) and replace the old hand tolerance with
+// the textbook bound: a single signed row estimates f with variance at
+// most F2/width, the median of rows has symmetric error, and the CI of
+// the across-trial mean follows from that bound — computed from the
+// per-trial exact counts, not a guessed constant.
+func TestUnbiasedUnderCollisions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	const trials = 80
+	const width = 32
+	var m oracle.Moments
+	var f2Sum float64
+	for trial := 0; trial < trials; trial++ {
+		s := countsketch.New[flowkey.IPv4](3, width, 8, uint64(trial))
+		rng := xrand.New(uint64(trial) * 13)
+		truth := make(map[flowkey.IPv4]uint64)
+		for i := 0; i < 5000; i++ {
+			k := flowkey.IPv4FromUint32(uint32(rng.Uint64n(200)) + 100)
+			s.Insert(k, 1)
+			truth[k]++
+		}
+		heavy := flowkey.IPv4FromUint32(7)
+		for i := 0; i < 2000; i++ {
+			s.Insert(heavy, 1)
+			truth[heavy]++
+		}
+		for _, v := range truth {
+			f2Sum += float64(v) * float64(v)
+		}
+		m.Add(float64(s.Query(heavy)))
+	}
+	varBound := oracle.CountSketchVarianceBound(f2Sum/trials, width)
+	if err := oracle.CheckMeanWithin("heavy flow under collisions", &m, 2000, varBound, 0, oracle.DefaultZ); err != nil {
+		t.Errorf("%v", err)
+	}
+	if err := oracle.CheckVarianceAtMost("heavy flow under collisions", &m, varBound, oracle.DefaultZ); err != nil {
+		t.Errorf("%v", err)
+	}
+}

@@ -1,0 +1,124 @@
+package uss_test
+
+import (
+	"math"
+	"testing"
+
+	"cocosketch/internal/baselines/uss"
+	"cocosketch/internal/flowkey"
+	"cocosketch/internal/oracle"
+	"cocosketch/internal/xrand"
+)
+
+// External statistical tests for USS. They live outside package uss so
+// they can import internal/oracle (which itself imports uss for the
+// differential matrix) and derive their acceptance bands from the USS
+// unbiasedness analysis instead of hand-picked tolerances: with n
+// counters and stream mass V, each estimate is unbiased with variance
+// at most f·V/n (the subset bound at l = n).
+
+func skey(i uint32) flowkey.IPv4 { return flowkey.IPv4FromUint32(i) }
+
+// TestNaiveAcceleratedAgreeStatistically feeds the same stream through
+// both USS data structures. Each one's mean heavy-flow estimate must
+// sit inside the CI built from the per-trial exact count and the f·V/n
+// variance bound, and the paired per-trial difference must be zero-mean
+// within its empirical standard error (they are the same algorithm, so
+// any systematic gap is a structural bug, not noise).
+func TestNaiveAcceleratedAgreeStatistically(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	const trials = 60
+	const n = 16
+	const packets = 30000
+	heavy := skey(0)
+	var mN, mA, mDiff oracle.Moments
+	var truthSum float64
+	for trial := 0; trial < trials; trial++ {
+		naive := uss.NewNaive[flowkey.IPv4](n, uint64(trial))
+		accel := uss.NewAccelerated[flowkey.IPv4](n, uint64(trial)+1000)
+		rng := xrand.New(uint64(trial) * 31)
+		trueHeavy := 0
+		for i := 0; i < packets; i++ {
+			var k flowkey.IPv4
+			if rng.Uint64n(10) < 3 {
+				k = heavy
+				trueHeavy++
+			} else {
+				k = skey(uint32(rng.Uint64n(200)) + 1)
+			}
+			naive.Insert(k, 1)
+			accel.Insert(k, 1)
+		}
+		truthSum += float64(trueHeavy)
+		qn, qa := float64(naive.Query(heavy)), float64(accel.Query(heavy))
+		mN.Add(qn)
+		mA.Add(qa)
+		mDiff.Add(qn - qa)
+	}
+	truth := truthSum / trials
+	varBound := oracle.SubsetVarianceBound(uint64(truth), packets, n)
+	if err := oracle.CheckMeanWithin("naive heavy flow", &mN, truth, varBound, 0, oracle.DefaultZ); err != nil {
+		t.Errorf("%v", err)
+	}
+	if err := oracle.CheckMeanWithin("accelerated heavy flow", &mA, truth, varBound, 0, oracle.DefaultZ); err != nil {
+		t.Errorf("%v", err)
+	}
+	// NaN variance bound → the check falls back to the empirical SE of
+	// the per-trial differences.
+	if err := oracle.CheckMeanWithin("naive−accelerated difference", &mDiff, 0, math.NaN(), 0, oracle.DefaultZ); err != nil {
+		t.Errorf("implementations disagree beyond noise: %v", err)
+	}
+}
+
+// TestUnbiasedUnderEviction runs 8 flows through 4 counters — constant
+// eviction pressure — and checks every flow (including the mice the old
+// hand-tuned version skipped as "too noisy"): the mean estimate must
+// equal the per-trial exact count within the CI from the f·V/n variance
+// bound, and the sample variance must respect that bound.
+func TestUnbiasedUnderEviction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	sizes := []uint64{4000, 2000, 1000, 500, 250, 125, 60, 30}
+	const trials = 400
+	var total uint64
+	for _, v := range sizes {
+		total += v
+	}
+	moments := make([]oracle.Moments, len(sizes))
+	truthSum := make([]float64, len(sizes))
+	for trial := 0; trial < trials; trial++ {
+		s := uss.NewAccelerated[flowkey.IPv4](4, uint64(trial))
+		rng := xrand.New(uint64(trial)*7 + 1)
+		realized := make([]int, len(sizes))
+		// Interleave packets proportionally to size.
+		for p := uint64(0); p < total; p++ {
+			r := rng.Uint64n(total)
+			var acc uint64
+			for i, v := range sizes {
+				acc += v
+				if r < acc {
+					s.Insert(skey(uint32(i)), 1)
+					realized[i]++
+					break
+				}
+			}
+		}
+		for i := range sizes {
+			truthSum[i] += float64(realized[i])
+			moments[i].Add(float64(s.Query(skey(uint32(i)))))
+		}
+	}
+	for i := range sizes {
+		truth := truthSum[i] / trials
+		bound := oracle.SubsetVarianceBound(uint64(truth), total, 4)
+		if err := oracle.CheckMeanWithin("flow under eviction", &moments[i], truth, bound, 0, oracle.DefaultZ); err != nil {
+			t.Errorf("flow %d (size %d): %v", i, sizes[i], err)
+		}
+		if err := oracle.CheckVarianceAtMost("flow under eviction", &moments[i], bound, oracle.DefaultZ); err != nil {
+			t.Errorf("flow %d (size %d): %v", i, sizes[i], err)
+		}
+	}
+}

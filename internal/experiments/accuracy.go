@@ -3,6 +3,7 @@ package experiments
 import (
 	"cocosketch/internal/flowkey"
 	"cocosketch/internal/metrics"
+	"cocosketch/internal/oracle"
 	"cocosketch/internal/query"
 	"cocosketch/internal/tasks"
 	"cocosketch/internal/trace"
@@ -49,17 +50,14 @@ func replayWeighted(inst Instance, tr *trace.Trace, bytes bool) {
 }
 
 // exactCounts computes the ground-truth table in the selected metric.
+// It delegates to internal/oracle so the experiments score against the
+// same exact reference engine the differential harness certifies.
 func exactCounts(tr *trace.Trace, bytes bool) (map[flowkey.FiveTuple]uint64, uint64) {
-	if !bytes {
-		return tr.FullCounts(), tr.TotalPackets()
+	o := oracle.FromTrace(tr)
+	if bytes {
+		o = oracle.FromTraceBytes(tr)
 	}
-	out := make(map[flowkey.FiveTuple]uint64)
-	var total uint64
-	for i := range tr.Packets {
-		out[tr.Packets[i].Key] += uint64(tr.Packets[i].Size)
-		total += uint64(tr.Packets[i].Size)
-	}
-	return out, total
+	return o.FullCounts(), o.Total()
 }
 
 // runFig8 reproduces Figure 8(a–c): heavy hitter RR / PR / ARE as the
@@ -157,7 +155,8 @@ func hcScores(exact1, exact2 map[flowkey.FiveTuple]uint64, m flowkey.Mask,
 // of keys across two adjacent windows.
 func runFig10(cfg RunConfig) (*TableResult, error) {
 	w1, w2 := trace.GeneratePair(trace.CAIDAConfig(cfg.packets(), cfg.Seed), 0.05)
-	exact1, exact2 := w1.FullCounts(), w2.FullCounts()
+	exact1, _ := exactCounts(w1, false)
+	exact2, _ := exactCounts(w2, false)
 	threshold := tasks.Threshold(w1.TotalPackets(), tasks.DefaultThresholdFraction)
 	allMasks := flowkey.EvaluationMasks()
 	const memory = 500 * 1024
@@ -215,10 +214,11 @@ func runFig13(cfg RunConfig) (*TableResult, error) {
 	}
 
 	trHH := trace.MAWILike(cfg.packets(), cfg.Seed)
-	exact := trHH.FullCounts()
+	exact, _ := exactCounts(trHH, false)
 	thHH := tasks.Threshold(trHH.TotalPackets(), tasks.DefaultThresholdFraction)
 	w1, w2 := trace.GeneratePair(trace.MAWIConfig(cfg.packets(), cfg.Seed+3), 0.05)
-	exact1, exact2 := w1.FullCounts(), w2.FullCounts()
+	exact1, _ := exactCounts(w1, false)
+	exact2, _ := exactCounts(w2, false)
 	thHC := tasks.Threshold(w1.TotalPackets(), tasks.DefaultThresholdFraction)
 
 	for _, sys := range HeavyChangeSystems() {

@@ -1,0 +1,103 @@
+package oracle
+
+import (
+	"cocosketch/internal/flowkey"
+	"cocosketch/internal/xrand"
+)
+
+// BiasedBasic is a deliberately broken CocoSketch: it is the basic
+// variant's update rule with the replacement probability off by one —
+// Bernoulli(w+1, V_new) instead of Theorem 1's Bernoulli(w, V_new).
+// For unit-weight streams this doubles every replacement probability,
+// which systematically over-represents small flows in the decoded
+// table (and starves heavy hitters). It exists purely as the harness's
+// negative control: TestInjectedBiasDetected proves the differential
+// matrix fails on it, i.e. that the variance-bound-derived confidence
+// intervals have real statistical power and are not vacuously wide.
+type BiasedBasic struct {
+	d, l  int
+	seeds []uint32
+	keys  []flowkey.FiveTuple
+	vals  []uint64
+	rng   *xrand.Source
+	hbuf  []uint32
+}
+
+// NewBiasedBasic builds the negative control with the same geometry
+// and seeding scheme as core.NewBasic.
+func NewBiasedBasic(arrays, bucketsPerArray int, seed uint64) *BiasedBasic {
+	seeds := make([]uint32, arrays)
+	sr := xrand.New(seed ^ 0xc0c0c0c0)
+	for i := range seeds {
+		seeds[i] = uint32(sr.Uint64())
+	}
+	return &BiasedBasic{
+		d:     arrays,
+		l:     bucketsPerArray,
+		seeds: seeds,
+		keys:  make([]flowkey.FiveTuple, arrays*bucketsPerArray),
+		vals:  make([]uint64, arrays*bucketsPerArray),
+		rng:   xrand.New(seed),
+		hbuf:  make([]uint32, arrays),
+	}
+}
+
+// Insert is core.Basic.Insert with the off-by-one replacement draw.
+func (s *BiasedBasic) Insert(key flowkey.FiveTuple, w uint64) {
+	if w == 0 {
+		return
+	}
+	key.HashSeeds(s.seeds, s.hbuf)
+	minVal := ^uint64(0)
+	minPos := -1
+	ties := 0
+	for i := 0; i < s.d; i++ {
+		pos := i*s.l + int((uint64(s.hbuf[i])*uint64(s.l))>>32)
+		if s.vals[pos] != 0 && s.keys[pos] == key {
+			s.vals[pos] += w
+			return
+		}
+		switch {
+		case s.vals[pos] < minVal:
+			minVal = s.vals[pos]
+			minPos = pos
+			ties = 1
+		case s.vals[pos] == minVal:
+			ties++
+			if s.rng.Uint64n(uint64(ties)) == 0 {
+				minPos = pos
+			}
+		}
+	}
+	s.vals[minPos] += w
+	// The injected bug: numerator w+1 instead of w.
+	if s.rng.Bernoulli(w+1, s.vals[minPos]) {
+		s.keys[minPos] = key
+	}
+}
+
+// Close implements Instance (no pending work).
+func (s *BiasedBasic) Close() {}
+
+// Table implements Instance: decode every occupied bucket.
+func (s *BiasedBasic) Table() map[flowkey.FiveTuple]uint64 {
+	out := make(map[flowkey.FiveTuple]uint64)
+	for i, v := range s.vals {
+		if v != 0 {
+			out[s.keys[i]] += v
+		}
+	}
+	return out
+}
+
+// BiasedImpl wraps BiasedBasic with the honest basic contract — which
+// it must fail.
+func BiasedImpl() Impl {
+	return Impl{
+		Name: "coco-biased(negative-control)",
+		New: func(seed uint64) Instance {
+			return NewBiasedBasic(harnessArrays, harnessBuckets, seed)
+		},
+		Contract: cocoContract(true),
+	}
+}

@@ -1,0 +1,168 @@
+package oracle
+
+import (
+	"math"
+	"testing"
+
+	"cocosketch/internal/flowkey"
+	"cocosketch/internal/trace"
+)
+
+// TestOracleMatchesBruteForce cross-checks every Oracle accessor
+// against an independent from-scratch replay of the same trace.
+func TestOracleMatchesBruteForce(t *testing.T) {
+	tr := trace.CAIDALike(5000, 7)
+	o := FromTrace(tr)
+
+	want := make(map[flowkey.FiveTuple]uint64)
+	var total uint64
+	for i := range tr.Packets {
+		want[tr.Packets[i].Key]++
+		total++
+	}
+	if o.Total() != total {
+		t.Fatalf("Total = %d, want %d", o.Total(), total)
+	}
+	if o.Flows() != len(want) {
+		t.Fatalf("Flows = %d, want %d", o.Flows(), len(want))
+	}
+	for k, v := range want {
+		if got := o.FullCounts()[k]; got != v {
+			t.Fatalf("FullCounts[%v] = %d, want %d", k, got, v)
+		}
+	}
+
+	// Partial keys: aggregate by hand per mask and compare, including
+	// the cached second moment.
+	for _, m := range Masks() {
+		agg := make(map[flowkey.FiveTuple]uint64)
+		for k, v := range want {
+			agg[m.Apply(k)] += v
+		}
+		got := o.PartialCounts(m)
+		if len(got) != len(agg) {
+			t.Fatalf("mask %v: %d aggregates, want %d", m, len(got), len(agg))
+		}
+		var f2 float64
+		var mass uint64
+		for k, v := range agg {
+			if got[k] != v {
+				t.Fatalf("mask %v key %v: %d, want %d", m, k, got[k], v)
+			}
+			if o.Count(m, k) != v {
+				t.Fatalf("Count(%v, %v) = %d, want %d", m, k, o.Count(m, k), v)
+			}
+			f2 += float64(v) * float64(v)
+			mass += v
+		}
+		if mass != total {
+			t.Fatalf("mask %v: ground-truth mass %d ≠ V %d (oracle must conserve mass per partial key)", m, mass, total)
+		}
+		if got := o.F2(m); math.Abs(got-f2) > 1e-6*f2 {
+			t.Fatalf("F2(%v) = %g, want %g", m, got, f2)
+		}
+	}
+}
+
+// TestOracleBytesWeighting pins the byte-count construction.
+func TestOracleBytesWeighting(t *testing.T) {
+	tr := trace.CAIDALike(2000, 9)
+	o := FromTraceBytes(tr)
+	var total uint64
+	for i := range tr.Packets {
+		total += uint64(tr.Packets[i].Size)
+	}
+	if o.Total() != total {
+		t.Fatalf("byte-weighted Total = %d, want %d", o.Total(), total)
+	}
+}
+
+// TestOracleReferenceAnswers sanity-checks the task-level reference
+// answers against direct recomputation from the exact table.
+func TestOracleReferenceAnswers(t *testing.T) {
+	tr := trace.CAIDALike(5000, 11)
+	o := FromTrace(tr)
+	m := flowkey.MaskAll()
+
+	top := o.TopK(m, 10)
+	if len(top) == 0 {
+		t.Fatal("TopK returned nothing")
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i].Size > top[i-1].Size {
+			t.Fatalf("TopK not sorted: %d > %d at rank %d", top[i].Size, top[i-1].Size, i)
+		}
+	}
+	if top[0].Size != maxCount(o.FullCounts()) {
+		t.Fatalf("TopK[0] = %d, want max %d", top[0].Size, maxCount(o.FullCounts()))
+	}
+
+	hh := o.HeavyHitters(m, 0.01)
+	for k, v := range hh {
+		if v != o.FullCounts()[k] {
+			t.Fatalf("heavy hitter %v reported %d, exact %d", k, v, o.FullCounts()[k])
+		}
+		if float64(v) < 0.01*float64(o.Total()) {
+			t.Fatalf("heavy hitter %v = %d below threshold", k, v)
+		}
+	}
+
+	// Entropy of exact counts, recomputed directly.
+	var ent float64
+	for _, v := range o.FullCounts() {
+		p := float64(v) / float64(o.Total())
+		ent -= p * math.Log2(p)
+	}
+	if got := o.Entropy(m); math.Abs(got-ent) > 1e-9 {
+		t.Fatalf("Entropy = %g, want %g", got, ent)
+	}
+
+	// HHH roots: the 0-length prefix aggregate is the whole stream.
+	hhh := o.HHH1D(0.9)
+	if len(hhh) == 0 {
+		t.Fatal("HHH1D(0.9) empty: the root aggregate always exceeds any threshold < 1")
+	}
+
+	// Super-spreaders at threshold 1 = every source with ≥1 dest.
+	ss := o.SuperSpreaders(1)
+	if len(ss) != len(o.SrcIPCounts()) {
+		t.Fatalf("SuperSpreaders(1) = %d sources, want every source %d", len(ss), len(o.SrcIPCounts()))
+	}
+}
+
+func maxCount(tab map[flowkey.FiveTuple]uint64) uint64 {
+	var mx uint64
+	for _, v := range tab {
+		if v > mx {
+			mx = v
+		}
+	}
+	return mx
+}
+
+// TestTrackedKeys pins the spread: heaviest keys first, then a median
+// and a tail representative, all distinct and present in the table.
+func TestTrackedKeys(t *testing.T) {
+	tr := trace.CAIDALike(5000, 13)
+	o := FromTrace(tr)
+	for _, m := range Masks() {
+		keys := o.TrackedKeys(m, 5)
+		if len(keys) == 0 {
+			t.Fatalf("mask %v: no tracked keys", m)
+		}
+		if got, want := o.Count(m, keys[0]), maxCount(o.PartialCounts(m)); got != want {
+			t.Fatalf("mask %v: first tracked key has %d, heaviest is %d", m, got, want)
+		}
+		seen := make(map[flowkey.FiveTuple]bool)
+		for _, k := range keys {
+			mk := m.Apply(k)
+			if seen[mk] {
+				t.Fatalf("mask %v: duplicate tracked key %v", m, mk)
+			}
+			seen[mk] = true
+			if o.Count(m, k) == 0 {
+				t.Fatalf("mask %v: tracked key %v not in table", m, k)
+			}
+		}
+	}
+}

@@ -1,0 +1,207 @@
+package oracle
+
+import (
+	"cocosketch/internal/flowkey"
+	"cocosketch/internal/packet"
+	"cocosketch/internal/trace"
+	"cocosketch/internal/xrand"
+)
+
+// A Regime is one seeded deterministic trace family the differential
+// harness replays. Every sketch guarantee in the paper is distribution-
+// free, so it must hold on all of them; the four regimes stress the
+// different failure modes of a bucketed estimator.
+type Regime struct {
+	// Name labels the regime in harness reports.
+	Name string
+	// Generate builds the trace for a given packet count. Equal seeds
+	// produce equal traces.
+	Generate func(packets int, seed uint64) *trace.Trace
+}
+
+// Regimes returns the harness's standard regimes:
+//
+//   - zipf: CAIDA-like heavy tail (α≈1.1) — the paper's primary
+//     workload; a few flows dominate, most buckets hold tail flows.
+//   - uniform: every flow the same expected size — no heavy hitters,
+//     maximum eviction churn, the worst case for replacement policies.
+//   - bursty: the zipf trace reordered into per-flow bursts — stresses
+//     state-dependent eviction dynamics (a flow's packets arrive while
+//     it already owns buckets) instead of well-mixed arrivals.
+//   - adversarial: low-entropy keys (sequential addresses in one /24,
+//     constant ports) — the hash-stress regime; a weakly-mixing hash
+//     collapses these onto few buckets.
+func Regimes() []Regime {
+	return []Regime{
+		{Name: "zipf", Generate: trace.CAIDALike},
+		{Name: "uniform", Generate: UniformTrace},
+		{Name: "bursty", Generate: BurstyTrace},
+		{Name: "adversarial", Generate: AdversarialTrace},
+	}
+}
+
+// UniformTrace draws packets uniformly from a flow population (Zipf
+// skew 0), so all flows have the same expected size.
+func UniformTrace(packets int, seed uint64) *trace.Trace {
+	flows := packets / 20
+	if flows < 64 {
+		flows = 64
+	}
+	return trace.Generate(trace.Config{
+		Name:    "uniform",
+		Packets: packets,
+		Flows:   flows,
+		Alpha:   0, // 1/rank^0: equal weight per flow
+		Seed:    seed,
+	})
+}
+
+// BurstyTrace generates the zipf trace and reorders it into per-flow
+// bursts of up to burstLen consecutive packets, emitted round-robin
+// across flows. The multiset of packets — and therefore the ground
+// truth — is identical to the zipf trace with the same arguments; only
+// arrival order changes.
+func BurstyTrace(packets int, seed uint64) *trace.Trace {
+	const burstLen = 64
+	src := trace.CAIDALike(packets, seed)
+
+	// Group packets by flow, preserving per-flow order.
+	perFlow := make(map[flowkey.FiveTuple][]trace.Packet)
+	var order []flowkey.FiveTuple
+	for i := range src.Packets {
+		k := src.Packets[i].Key
+		if _, seen := perFlow[k]; !seen {
+			order = append(order, k)
+		}
+		perFlow[k] = append(perFlow[k], src.Packets[i])
+	}
+
+	// Emit bursts round-robin over flows in first-appearance order
+	// (deterministic), until every queue drains.
+	out := &trace.Trace{Name: "bursty", Packets: make([]trace.Packet, 0, len(src.Packets))}
+	remaining := len(src.Packets)
+	for remaining > 0 {
+		for _, k := range order {
+			q := perFlow[k]
+			if len(q) == 0 {
+				continue
+			}
+			n := burstLen
+			if n > len(q) {
+				n = len(q)
+			}
+			out.Packets = append(out.Packets, q[:n]...)
+			perFlow[k] = q[n:]
+			remaining -= n
+		}
+	}
+	return out
+}
+
+// AdversarialTrace emits low-entropy keys: sources walk one /24
+// sequentially, destinations cycle a handful of servers, ports are
+// constant. Flow sizes are Zipf by flow index so eviction pressure
+// still varies. Every byte of key material is highly structured, which
+// punishes hash functions with poor avalanche behaviour.
+func AdversarialTrace(packets int, seed uint64) *trace.Trace {
+	flows := packets / 40
+	if flows < 64 {
+		flows = 64
+	}
+	rng := xrand.New(seed ^ 0xADE5A21A)
+	keys := make([]flowkey.FiveTuple, flows)
+	weights := make([]float64, flows)
+	for i := range keys {
+		keys[i] = flowkey.FiveTuple{
+			// 10.0.x.y walks sequentially: consecutive keys differ in
+			// the lowest address bits only.
+			SrcIP:   [4]byte{10, 0, byte(i >> 8), byte(i)},
+			DstIP:   [4]byte{192, 168, 1, byte(i % 8)},
+			SrcPort: 12345,
+			DstPort: 443,
+			Proto:   packet.ProtoTCP,
+		}
+		weights[i] = 1 / float64(i+1) // Zipf α=1 by index
+	}
+	out := &trace.Trace{Name: "adversarial", Packets: make([]trace.Packet, packets)}
+	table := newCumulative(weights)
+	for i := range out.Packets {
+		out.Packets[i] = trace.Packet{Key: keys[table.draw(rng)], Size: 64}
+	}
+	return out
+}
+
+// cumulative is a binary-searched CDF sampler — small, allocation-free
+// after construction, and deterministic in the xrand source. (The trace
+// package's alias table is not exported; the regime only needs a few
+// thousand draws per trial, so O(log n) sampling is fine.)
+type cumulative struct {
+	cdf []float64
+}
+
+func newCumulative(weights []float64) *cumulative {
+	c := &cumulative{cdf: make([]float64, len(weights))}
+	var sum float64
+	for i, w := range weights {
+		sum += w
+		c.cdf[i] = sum
+	}
+	return c
+}
+
+func (c *cumulative) draw(rng *xrand.Source) int {
+	u := rng.Float64() * c.cdf[len(c.cdf)-1]
+	lo, hi := 0, len(c.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if c.cdf[mid] <= u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// LateArrivalRegime is the negative-control regime: a zipf stream with
+// a swarm of mice flows sharing one source address appended at the very
+// end. Arrival order is where an off-by-one replacement probability
+// shows: for a mouse arriving last there is no later traffic to rebalance
+// an inflated capture probability, so a doubled replacement draw nearly
+// doubles each mouse's expected estimate. Per flow the effect hides
+// inside the CI, but the paper's arbitrary-partial-key query aggregates
+// the swarm's shared source into one tracked heavy aggregate whose bias
+// (~+20% of its mass) exceeds the Theorem 2 CI. Honest CocoSketch is
+// order-independent in expectation and passes the same cell.
+func LateArrivalRegime() Regime {
+	return Regime{Name: "late-arrival", Generate: LateArrivalTrace}
+}
+
+// LateArrivalTrace builds the late-arrival negative-control stream:
+// a CAIDA-like body followed by lateFlows mice of lateFlowSize packets
+// each, all sharing source 77.7.7.7.
+func LateArrivalTrace(packets int, seed uint64) *trace.Trace {
+	const (
+		lateFlows    = 150
+		lateFlowSize = 8
+	)
+	body := packets - lateFlows*lateFlowSize
+	if body < 0 {
+		body = 0
+	}
+	tr := trace.CAIDALike(body, seed)
+	tr.Name = "late-arrival"
+	for f := 0; f < lateFlows; f++ {
+		k := flowkey.FiveTuple{
+			SrcIP:   [4]byte{77, 7, 7, 7},
+			DstIP:   [4]byte{8, 8, byte(f >> 8), byte(f)},
+			SrcPort: 7,
+			DstPort: uint16(1000 + f),
+			Proto:   packet.ProtoTCP,
+		}
+		for i := 0; i < lateFlowSize; i++ {
+			tr.Packets = append(tr.Packets, trace.Packet{Key: k, Size: 64})
+		}
+	}
+	return tr
+}

@@ -1,0 +1,95 @@
+package oracle
+
+import (
+	"testing"
+
+	"cocosketch/internal/flowkey"
+	"cocosketch/internal/trace"
+)
+
+// TestRegimesDeterministic pins that equal (packets, seed) arguments
+// reproduce byte-identical traces — the property the whole harness
+// rests on.
+func TestRegimesDeterministic(t *testing.T) {
+	for _, reg := range Regimes() {
+		a := reg.Generate(3000, 21)
+		b := reg.Generate(3000, 21)
+		if len(a.Packets) != 3000 || len(b.Packets) != 3000 {
+			t.Fatalf("%s: got %d/%d packets, want 3000", reg.Name, len(a.Packets), len(b.Packets))
+		}
+		for i := range a.Packets {
+			if a.Packets[i] != b.Packets[i] {
+				t.Fatalf("%s: packet %d differs between equal-seed runs", reg.Name, i)
+			}
+		}
+		c := reg.Generate(3000, 22)
+		same := true
+		for i := range a.Packets {
+			if a.Packets[i] != c.Packets[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatalf("%s: different seeds produced identical traces", reg.Name)
+		}
+	}
+}
+
+// TestBurstySameGroundTruth pins the metamorphic relation bursty is
+// built on: it is a reordering of the zipf trace, so the exact
+// ground truth (per-flow counts, total, F2) is identical.
+func TestBurstySameGroundTruth(t *testing.T) {
+	zipf := FromTrace(trace.CAIDALike(5000, 33))
+	bursty := FromTrace(BurstyTrace(5000, 33))
+	if zipf.Total() != bursty.Total() || zipf.Flows() != bursty.Flows() {
+		t.Fatalf("bursty ground truth differs: V %d/%d flows %d/%d",
+			zipf.Total(), bursty.Total(), zipf.Flows(), bursty.Flows())
+	}
+	for k, v := range zipf.FullCounts() {
+		if bursty.FullCounts()[k] != v {
+			t.Fatalf("flow %v: bursty %d, zipf %d", k, bursty.FullCounts()[k], v)
+		}
+	}
+}
+
+// TestBurstyActuallyBursts verifies the reorder produced runs of
+// consecutive same-flow packets (otherwise the regime is not testing
+// anything different from zipf).
+func TestBurstyActuallyBursts(t *testing.T) {
+	tr := BurstyTrace(5000, 33)
+	runs := 0
+	for i := 1; i < len(tr.Packets); i++ {
+		if tr.Packets[i].Key == tr.Packets[i-1].Key {
+			runs++
+		}
+	}
+	// The zipf order has some accidental adjacency; a burst-64 grouping
+	// must make same-key adjacency the norm.
+	if runs < len(tr.Packets)/2 {
+		t.Fatalf("only %d/%d adjacent same-flow pairs: trace is not bursty", runs, len(tr.Packets)-1)
+	}
+}
+
+// TestAdversarialLowEntropy pins the regime's defining property:
+// highly structured key material (one /24 of sources, few destinations,
+// constant ports) with a skewed size distribution.
+func TestAdversarialLowEntropy(t *testing.T) {
+	tr := AdversarialTrace(5000, 5)
+	o := FromTrace(tr)
+	srcMask := flowkey.MaskFields(flowkey.FieldSrcIP)
+	for k := range o.FullCounts() {
+		if k.SrcIP[0] != 10 || k.SrcIP[1] != 0 {
+			t.Fatalf("source %v outside the adversarial 10.0.0.0/16 walk", k.SrcIP)
+		}
+		if k.SrcPort != 12345 || k.DstPort != 443 {
+			t.Fatalf("ports %d→%d not constant", k.SrcPort, k.DstPort)
+		}
+	}
+	// Zipf-by-index sizing: the heaviest source must dominate the mean.
+	top := o.TopK(srcMask, 1)
+	mean := float64(o.Total()) / float64(len(o.PartialCounts(srcMask)))
+	if float64(top[0].Size) < 10*mean {
+		t.Fatalf("top source %d not heavy-tailed (mean %.1f)", top[0].Size, mean)
+	}
+}

@@ -1,0 +1,187 @@
+package oracle
+
+import (
+	"fmt"
+	"math"
+)
+
+// Statistical assertion machinery. The harness never uses hand-picked
+// tolerances: every acceptance band is a confidence interval derived
+// from a variance bound (the paper's Theorem 2 / Lemma 5 for
+// CocoSketch and USS, F2/width for Count-Sketch-style estimators, a
+// binomial bound for R-HHH sampling) or, where no theorem applies,
+// from the empirical moments of the trials themselves (a Student-t
+// style interval). Tests choose only the confidence level, expressed
+// as the z-score DefaultZ.
+
+// DefaultZ is the harness-wide z-score: 4.5 standard errors, a
+// two-sided false-alarm probability of ~7e-6 per assertion, so the
+// full matrix (thousands of assertions) stays deterministic-in-practice
+// while a genuine bias of a few standard errors still fails.
+const DefaultZ = 4.5
+
+// Moments accumulates streaming sample moments (Welford), enough to
+// report mean, variance, and the standard error of both.
+type Moments struct {
+	n                float64
+	mean, m2, m3, m4 float64
+}
+
+// Add folds one observation into the accumulator.
+func (m *Moments) Add(x float64) {
+	n1 := m.n
+	m.n++
+	delta := x - m.mean
+	dn := delta / m.n
+	dn2 := dn * dn
+	term1 := delta * dn * n1
+	m.mean += dn
+	m.m4 += term1*dn2*(m.n*m.n-3*m.n+3) + 6*dn2*m.m2 - 4*dn*m.m3
+	m.m3 += term1*dn*(m.n-2) - 3*dn*m.m2
+	m.m2 += term1
+}
+
+// N returns the number of observations.
+func (m *Moments) N() int { return int(m.n) }
+
+// Mean returns the sample mean.
+func (m *Moments) Mean() float64 { return m.mean }
+
+// Variance returns the unbiased sample variance.
+func (m *Moments) Variance() float64 {
+	if m.n < 2 {
+		return 0
+	}
+	return m.m2 / (m.n - 1)
+}
+
+// StdErrMean returns the standard error of the sample mean using the
+// empirical variance.
+func (m *Moments) StdErrMean() float64 {
+	if m.n < 1 {
+		return math.Inf(1)
+	}
+	return math.Sqrt(m.Variance() / m.n)
+}
+
+// StdErrVariance returns the standard error of the sample variance,
+// estimated from the empirical fourth moment:
+// SE[s²] = sqrt((m4 − s⁴)/n). This is what lets theorem tests assert a
+// variance *value* (Theorem 2's 2wV increment) with a derived band.
+func (m *Moments) StdErrVariance() float64 {
+	if m.n < 2 {
+		return math.Inf(1)
+	}
+	s2 := m.Variance()
+	v := (m.m4/m.n - s2*s2) / m.n
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+// CocoVarianceBound is the per-key variance ceiling of a CocoSketch
+// estimate, in the shape of Lemma 5 / Theorem 2: Var[f̂(e)] ≤
+// f(e)·f̄(e)/l where f̄(e) = V − f(e) is the colliding mass and l the
+// buckets per array. The basic variant's min-bucket rule and the
+// hardware variant's cross-array median only reduce variance below the
+// single-array bound, so the bound is safe for both (and for USS with
+// l = its bucket count, since USS is CocoSketch's d=1, l=global-min
+// special case).
+func CocoVarianceBound(f, total uint64, bucketsPerArray int) float64 {
+	if bucketsPerArray <= 0 {
+		return math.Inf(1)
+	}
+	fb := float64(total) - float64(f)
+	if fb < 0 {
+		fb = 0
+	}
+	return float64(f) * fb / float64(bucketsPerArray)
+}
+
+// SubsetVarianceBound is the partial-key form of CocoVarianceBound.
+// A subset-sum estimate Σ_i f̂(e_i) over the aggregate's component full
+// keys has Var ≤ Σ_i f_i·f̄_i/l ≤ (Σ_i f_i)·V/l = f(e_P)·V/l, since
+// distinct full keys hash (nearly) independently and each component's
+// colliding mass is at most V. Slightly looser than f·(V−f)/l but safe
+// for every mask including the full key.
+func SubsetVarianceBound(f, total uint64, bucketsPerArray int) float64 {
+	if bucketsPerArray <= 0 {
+		return math.Inf(1)
+	}
+	return float64(f) * float64(total) / float64(bucketsPerArray)
+}
+
+// CountSketchVarianceBound is the classic Count-Sketch single-row
+// guarantee Var[f̂(e)] ≤ F2/width; the median over rows can only
+// concentrate further.
+func CountSketchVarianceBound(f2 float64, width int) float64 {
+	if width <= 0 {
+		return math.Inf(1)
+	}
+	return f2 / float64(width)
+}
+
+// SamplingVarianceBound is the variance of an L-level uniform-sampling
+// estimator (R-HHH): the level-p count is Binomial(f, 1/L) scaled by L,
+// so Var = f·(L−1).
+func SamplingVarianceBound(f uint64, levels int) float64 {
+	return float64(f) * float64(levels-1)
+}
+
+// CIHalfWidth converts a per-trial variance bound into the half-width
+// of a z·SE confidence interval for the mean of `trials` independent
+// trials.
+func CIHalfWidth(varBound float64, trials int, z float64) float64 {
+	if trials <= 0 {
+		return math.Inf(1)
+	}
+	return z * math.Sqrt(varBound/float64(trials))
+}
+
+// BernoulliCIHalfWidth is the CI half-width for an empirical rate of a
+// Bernoulli(p) event over `trials` draws.
+func BernoulliCIHalfWidth(p float64, trials int, z float64) float64 {
+	return CIHalfWidth(p*(1-p), trials, z)
+}
+
+// CheckMeanWithin asserts truth − ci ≤ mean ≤ truth + ci + overAllow,
+// where ci derives from varBound (falling back to the empirical SE when
+// varBound is NaN) and overAllow admits a documented one-sided
+// overestimate (0 for strictly unbiased estimators). It returns a
+// descriptive error on violation, nil otherwise.
+func CheckMeanWithin(what string, m *Moments, truth, varBound, overAllow, z float64) error {
+	return CheckMeanBand(what, m, truth, varBound, 0, overAllow, z)
+}
+
+// CheckMeanBand is CheckMeanWithin with both one-sided allowances:
+// truth − ci − underAllow ≤ mean ≤ truth + ci + overAllow. Estimators
+// with a documented downward bias (Elastic's pre-claim mass lost to the
+// light part) set underAllow; strictly unbiased estimators set both
+// allowances to 0.
+func CheckMeanBand(what string, m *Moments, truth, varBound, underAllow, overAllow, z float64) error {
+	var ci float64
+	if math.IsNaN(varBound) {
+		ci = z * m.StdErrMean()
+	} else {
+		ci = CIHalfWidth(varBound, m.N(), z)
+	}
+	lo, hi := truth-ci-underAllow, truth+ci+overAllow
+	mean := m.Mean()
+	if mean < lo || mean > hi {
+		return fmt.Errorf("%s: mean %.2f outside [%.2f, %.2f] (truth %.0f, ci %.2f, under-allowance %.2f, over-allowance %.2f, %d trials)",
+			what, mean, lo, hi, truth, ci, underAllow, overAllow, m.N())
+	}
+	return nil
+}
+
+// CheckVarianceAtMost asserts the empirical variance does not exceed
+// bound by more than z standard errors of the variance estimate — the
+// "provably bounded variance" half of the paper's headline claim.
+func CheckVarianceAtMost(what string, m *Moments, bound, z float64) error {
+	if got := m.Variance(); got > bound+z*m.StdErrVariance() {
+		return fmt.Errorf("%s: variance %.1f exceeds bound %.1f (+%.1f allowance, %d trials)",
+			what, got, bound, z*m.StdErrVariance(), m.N())
+	}
+	return nil
+}

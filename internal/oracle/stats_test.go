@@ -1,0 +1,138 @@
+package oracle
+
+import (
+	"math"
+	"testing"
+
+	"cocosketch/internal/xrand"
+)
+
+// TestMomentsClosedForm checks the Welford accumulator against direct
+// two-pass computation on a fixed sample.
+func TestMomentsClosedForm(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5}
+	var m Moments
+	for _, x := range xs {
+		m.Add(x)
+	}
+
+	var mean float64
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	var m2, m4 float64
+	for _, x := range xs {
+		d := x - mean
+		m2 += d * d
+		m4 += d * d * d * d
+	}
+	wantVar := m2 / float64(len(xs)-1)
+
+	if m.N() != len(xs) {
+		t.Fatalf("N = %d, want %d", m.N(), len(xs))
+	}
+	if math.Abs(m.Mean()-mean) > 1e-12 {
+		t.Fatalf("Mean = %g, want %g", m.Mean(), mean)
+	}
+	if math.Abs(m.Variance()-wantVar) > 1e-12 {
+		t.Fatalf("Variance = %g, want %g", m.Variance(), wantVar)
+	}
+	wantSEV := math.Sqrt((m4/float64(len(xs)) - wantVar*wantVar) / float64(len(xs)))
+	if math.Abs(m.StdErrVariance()-wantSEV) > 1e-9 {
+		t.Fatalf("StdErrVariance = %g, want %g", m.StdErrVariance(), wantSEV)
+	}
+	wantSEM := math.Sqrt(wantVar / float64(len(xs)))
+	if math.Abs(m.StdErrMean()-wantSEM) > 1e-12 {
+		t.Fatalf("StdErrMean = %g, want %g", m.StdErrMean(), wantSEM)
+	}
+}
+
+// TestCheckMeanBand exercises both acceptance and rejection with a
+// known variance bound.
+func TestCheckMeanBand(t *testing.T) {
+	var m Moments
+	for i := 0; i < 100; i++ {
+		m.Add(10) // zero-variance sample at exactly the truth
+	}
+	if err := CheckMeanBand("exact", &m, 10, 1, 0, 0, DefaultZ); err != nil {
+		t.Fatalf("exact mean rejected: %v", err)
+	}
+	// Mean 10 vs truth 0 with tiny variance bound must fail.
+	if err := CheckMeanBand("biased", &m, 0, 1, 0, 0, DefaultZ); err == nil {
+		t.Fatal("mean 10 vs truth 0 accepted with varBound 1")
+	}
+	// The over-allowance admits a documented positive bias…
+	if err := CheckMeanBand("allowed-over", &m, 0, 1, 0, 10, DefaultZ); err != nil {
+		t.Fatalf("over-allowance not applied: %v", err)
+	}
+	// …but not a negative one; the under-allowance is separate.
+	if err := CheckMeanBand("under", &m, 20, 1, 0, 10, DefaultZ); err == nil {
+		t.Fatal("underestimate accepted via over-allowance")
+	}
+	if err := CheckMeanBand("allowed-under", &m, 20, 1, 10, 0, DefaultZ); err != nil {
+		t.Fatalf("under-allowance not applied: %v", err)
+	}
+	// NaN varBound falls back to the empirical SE (zero here, so any
+	// deviation fails).
+	if err := CheckMeanBand("empirical", &m, 10, math.NaN(), 0, 0, DefaultZ); err != nil {
+		t.Fatalf("empirical-SE path rejected exact mean: %v", err)
+	}
+	if err := CheckMeanBand("empirical-off", &m, 11, math.NaN(), 0, 0, DefaultZ); err == nil {
+		t.Fatal("empirical-SE path accepted off-truth mean with zero variance")
+	}
+}
+
+// TestCheckMeanBandCalibration draws genuinely unbiased samples with
+// variance exactly at the bound and verifies the CI accepts them; then
+// shifts the mean by many standard errors and verifies rejection. This
+// is the harness testing its own statistical power.
+func TestCheckMeanBandCalibration(t *testing.T) {
+	rng := xrand.New(42)
+	const truth, sd, trials = 1000.0, 50.0, 64
+	var unbiased, shifted Moments
+	for i := 0; i < trials; i++ {
+		x := truth + sd*rng.Norm64()
+		unbiased.Add(x)
+		// 8 standard errors of the mean — well past z = 4.5.
+		shifted.Add(x + 8*sd/math.Sqrt(trials))
+	}
+	if err := CheckMeanWithin("unbiased", &unbiased, truth, sd*sd, 0, DefaultZ); err != nil {
+		t.Fatalf("unbiased sample rejected: %v", err)
+	}
+	if err := CheckMeanWithin("shifted", &shifted, truth, sd*sd, 0, DefaultZ); err == nil {
+		t.Fatal("8-SE bias accepted: the CI has no power")
+	}
+	if err := CheckVarianceAtMost("var", &unbiased, sd*sd, DefaultZ); err != nil {
+		t.Fatalf("variance at bound rejected: %v", err)
+	}
+	if err := CheckVarianceAtMost("var-tight", &unbiased, sd*sd/10, DefaultZ); err == nil {
+		t.Fatal("variance 10x over bound accepted")
+	}
+}
+
+// TestBoundShapes pins the closed forms of the variance bounds.
+func TestBoundShapes(t *testing.T) {
+	if got := CocoVarianceBound(100, 1000, 512); got != 100*900.0/512 {
+		t.Fatalf("CocoVarianceBound = %g", got)
+	}
+	if got := SubsetVarianceBound(100, 1000, 512); got != 100*1000.0/512 {
+		t.Fatalf("SubsetVarianceBound = %g", got)
+	}
+	if got := CountSketchVarianceBound(1e6, 2048); got != 1e6/2048 {
+		t.Fatalf("CountSketchVarianceBound = %g", got)
+	}
+	if got := SamplingVarianceBound(100, 33); got != 3200 {
+		t.Fatalf("SamplingVarianceBound = %g", got)
+	}
+	if got := CIHalfWidth(400, 16, 2); got != 2*math.Sqrt(25) {
+		t.Fatalf("CIHalfWidth = %g", got)
+	}
+	if got := BernoulliCIHalfWidth(0.5, 25, 2); math.Abs(got-2*0.1) > 1e-12 {
+		t.Fatalf("BernoulliCIHalfWidth = %g", got)
+	}
+	// Degenerate geometry must not divide by zero.
+	if !math.IsInf(CocoVarianceBound(1, 2, 0), 1) || !math.IsInf(CIHalfWidth(1, 0, 1), 1) {
+		t.Fatal("degenerate inputs must yield +Inf, not panic")
+	}
+}

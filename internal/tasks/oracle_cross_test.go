@@ -1,0 +1,147 @@
+package tasks_test
+
+import (
+	"math"
+	"testing"
+
+	"cocosketch/internal/flowkey"
+	"cocosketch/internal/oracle"
+	"cocosketch/internal/tasks"
+	"cocosketch/internal/trace"
+)
+
+// Cross-checks between the tasks reference answers (as surfaced
+// through the oracle) and brute-force recomputation straight from the
+// raw packet stream. The oracle builds its tables by one code path
+// (full-key map, then mask aggregation); these tests rebuild each
+// answer from tr.Packets with none of that machinery, so the two
+// implementations vouch for each other.
+
+// TestSuperSpreadersMatchRawReplay recomputes per-source distinct
+// destination fan-out directly from the packets and compares the
+// thresholded answer against oracle.SuperSpreaders (which goes through
+// IPPairCounts + tasks.SuperSpreaders).
+func TestSuperSpreadersMatchRawReplay(t *testing.T) {
+	tr := trace.CAIDALike(8000, 17)
+	o := oracle.FromTrace(tr)
+
+	fan := make(map[flowkey.IPv4]map[flowkey.IPv4]bool)
+	for i := range tr.Packets {
+		k := tr.Packets[i].Key
+		src, dst := flowkey.IPv4(k.SrcIP), flowkey.IPv4(k.DstIP)
+		if fan[src] == nil {
+			fan[src] = make(map[flowkey.IPv4]bool)
+		}
+		fan[src][dst] = true
+	}
+	for _, threshold := range []uint64{1, 2, 5} {
+		want := make(map[flowkey.IPv4]uint64)
+		for src, dsts := range fan {
+			if uint64(len(dsts)) >= threshold {
+				want[src] = uint64(len(dsts))
+			}
+		}
+		got := o.SuperSpreaders(threshold)
+		if len(got) != len(want) {
+			t.Fatalf("threshold %d: %d spreaders, want %d", threshold, len(got), len(want))
+		}
+		for src, n := range want {
+			if got[src] != n {
+				t.Fatalf("threshold %d: source %v fan-out %d, want %d", threshold, src, got[src], n)
+			}
+		}
+	}
+}
+
+// TestHeavyHittersMatchRawReplay recomputes the heavy hitters on the
+// source-IP partial key from the raw packets and compares against the
+// oracle's PartialCounts + tasks.HeavyHitters path.
+func TestHeavyHittersMatchRawReplay(t *testing.T) {
+	tr := trace.CAIDALike(8000, 19)
+	o := oracle.FromTrace(tr)
+	srcMask := flowkey.MaskFields(flowkey.FieldSrcIP)
+
+	bySrc := make(map[flowkey.IPv4]uint64)
+	for i := range tr.Packets {
+		bySrc[flowkey.IPv4(tr.Packets[i].Key.SrcIP)]++
+	}
+	const fraction = 0.005
+	threshold := tasks.Threshold(uint64(len(tr.Packets)), fraction)
+	want := make(map[flowkey.IPv4]uint64)
+	for src, v := range bySrc {
+		if v >= threshold {
+			want[src] = v
+		}
+	}
+	got := o.HeavyHitters(srcMask, fraction)
+	if len(got) != len(want) {
+		t.Fatalf("%d heavy hitters, want %d", len(got), len(want))
+	}
+	for k, v := range got {
+		if want[flowkey.IPv4(k.SrcIP)] != v {
+			t.Fatalf("heavy hitter %v: %d, want %d", k.SrcIP, v, want[flowkey.IPv4(k.SrcIP)])
+		}
+	}
+}
+
+// TestHHH1DLevelsMatchRawReplay rebuilds every prefix-level aggregate
+// directly from the packets and checks tasks.Levels1DFromCounts over
+// oracle.SrcIPCounts agrees at all 33 levels, then sanity-checks the
+// extracted HHH set: conditioned counts reach the threshold and the
+// node's raw aggregate is never smaller than its conditioned count.
+func TestHHH1DLevelsMatchRawReplay(t *testing.T) {
+	tr := trace.CAIDALike(8000, 23)
+	o := oracle.FromTrace(tr)
+	levels := tasks.Levels1DFromCounts(o.SrcIPCounts())
+
+	raw := make([]map[flowkey.IPv4]uint64, tasks.HierarchyDepth1D)
+	for p := range raw {
+		raw[p] = make(map[flowkey.IPv4]uint64)
+	}
+	for i := range tr.Packets {
+		src := flowkey.IPv4(tr.Packets[i].Key.SrcIP)
+		for p := 0; p <= 32; p++ {
+			raw[p][src.Prefix(p)]++
+		}
+	}
+	for p := 0; p <= 32; p++ {
+		if len(levels[p]) != len(raw[p]) {
+			t.Fatalf("level %d: %d nodes, want %d", p, len(levels[p]), len(raw[p]))
+		}
+		for prefix, v := range raw[p] {
+			if levels[p][prefix] != v {
+				t.Fatalf("level %d node %v: %d, want %d", p, prefix, levels[p][prefix], v)
+			}
+		}
+	}
+
+	threshold := tasks.Threshold(o.Total(), 0.01)
+	for node, conditioned := range tasks.ExtractHHH1D(levels, threshold) {
+		if conditioned < threshold {
+			t.Fatalf("HHH %v conditioned count %d below threshold %d", node, conditioned, threshold)
+		}
+		if rawAgg := levels.Query(node); rawAgg < conditioned {
+			t.Fatalf("HHH %v raw aggregate %d below its conditioned count %d", node, rawAgg, conditioned)
+		}
+	}
+}
+
+// TestEntropyMatchesRawReplay recomputes masked-key entropy from the
+// packets for two masks and compares against the oracle's
+// tasks.Entropy path.
+func TestEntropyMatchesRawReplay(t *testing.T) {
+	tr := trace.CAIDALike(8000, 29)
+	o := oracle.FromTrace(tr)
+	for _, m := range []flowkey.Mask{flowkey.MaskAll(), flowkey.MaskFields(flowkey.FieldDstPort)} {
+		counts := make(map[flowkey.FiveTuple]uint64)
+		for i := range tr.Packets {
+			counts[m.Apply(tr.Packets[i].Key)]++
+		}
+		want := tasks.Entropy(counts)
+		// Map iteration order permutes the summation, so allow
+		// accumulation round-off.
+		if got := o.Entropy(m); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("mask %v: entropy %g, want %g", m, got, want)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+// Command coverfloor enforces a per-package statement-coverage floor.
+// It reads `go test -cover ./...` output on stdin and fails when any
+// non-exempt package reports coverage below the floor or has no test
+// files at all. It backs the `make cover` target.
+//
+// Usage:
+//
+//	go test -cover ./... | coverfloor -min 75 [-exempt prefix,prefix]
+//
+// Exempt prefixes match against the package import path; they cover
+// code whose behaviour is exercised elsewhere (examples, thin command
+// wrappers around tested libraries, build tooling). The exit status is
+// 1 when a floor violation is found and 2 on malformed input, so a
+// silently empty test run cannot pass the gate.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	min := flag.Float64("min", 75, "minimum per-package statement coverage, percent")
+	exempt := flag.String("exempt", "", "comma-separated import-path prefixes to skip")
+	flag.Parse()
+
+	var prefixes []string
+	for _, p := range strings.Split(*exempt, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			prefixes = append(prefixes, p)
+		}
+	}
+
+	report, bad, err := scan(os.Stdin, *min, prefixes)
+	fmt.Print(report)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "coverfloor: %v\n", err)
+		os.Exit(2)
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "coverfloor: %d package(s) below the %.0f%% floor\n", bad, *min)
+		os.Exit(1)
+	}
+}
+
+// scan parses `go test -cover` lines, returning a human-readable
+// report, the number of packages below the floor, and an error when the
+// input contains no coverage data at all (which would otherwise pass
+// vacuously) or a test failure line.
+func scan(r interface{ Read([]byte) (int, error) }, min float64, exempt []string) (string, int, error) {
+	var b strings.Builder
+	bad, seen := 0, 0
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			continue
+		}
+		var pkg string
+		switch fields[0] {
+		case "FAIL", "---":
+			return b.String(), bad, fmt.Errorf("test failure in input: %s", line)
+		case "ok", "?":
+			pkg = fields[1]
+		default:
+			// Packages without test files print as
+			// "\t<pkg>\t\tcoverage: 0.0% of statements" under -cover.
+			if fields[1] != "coverage:" {
+				continue
+			}
+			pkg = fields[0]
+		}
+		if isExempt(pkg, exempt) {
+			continue
+		}
+		if strings.Contains(line, "[no statements]") {
+			continue // nothing to cover (e.g. a doc-only root package)
+		}
+		seen++
+		pct, ok := coveragePercent(line)
+		if !ok {
+			// "[no test files]" or a line without a coverage figure:
+			// an untested package is below any floor by definition.
+			fmt.Fprintf(&b, "FLOOR %-55s no test files\n", pkg)
+			bad++
+			continue
+		}
+		if pct < min {
+			fmt.Fprintf(&b, "FLOOR %-55s %5.1f%% < %.0f%%\n", pkg, pct, min)
+			bad++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return b.String(), bad, err
+	}
+	if seen == 0 {
+		return b.String(), bad, fmt.Errorf("no package results on stdin (pipe `go test -cover ./...` in)")
+	}
+	fmt.Fprintf(&b, "coverfloor: %d package(s) checked, %d below floor\n", seen, bad)
+	return b.String(), bad, nil
+}
+
+// isExempt reports whether pkg matches any exempt prefix.
+func isExempt(pkg string, exempt []string) bool {
+	for _, p := range exempt {
+		if strings.HasPrefix(pkg, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// coveragePercent extracts the "coverage: N.M% of statements" figure.
+func coveragePercent(line string) (float64, bool) {
+	i := strings.Index(line, "coverage: ")
+	if i < 0 {
+		return 0, false
+	}
+	rest := line[i+len("coverage: "):]
+	j := strings.Index(rest, "%")
+	if j < 0 {
+		return 0, false
+	}
+	pct, err := strconv.ParseFloat(rest[:j], 64)
+	if err != nil {
+		return 0, false
+	}
+	return pct, true
+}

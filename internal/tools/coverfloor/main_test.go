@@ -1,0 +1,68 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `ok  	cocosketch/internal/core	0.610s	coverage: 91.2% of statements
+ok  	cocosketch/internal/hash	0.003s	coverage: 100.0% of statements
+ok  	cocosketch/internal/low	0.01s	coverage: 40.0% of statements
+?   	cocosketch/examples/demo	[no test files]
+?   	cocosketch/internal/untested	[no test files]
+	cocosketch/cmd/bare		coverage: 0.0% of statements
+ok  	cocosketch	0.002s	coverage: [no statements] [no tests to run]
+`
+
+func TestScanFlagsLowAndUntested(t *testing.T) {
+	report, bad, err := scan(strings.NewReader(sample), 75, []string{"cocosketch/examples/"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad != 3 {
+		t.Fatalf("bad = %d, want 3 (one low, one untested, one bare command):\n%s", bad, report)
+	}
+	for _, want := range []string{"internal/low", "internal/untested", "cmd/bare"} {
+		if !strings.Contains(report, want) {
+			t.Fatalf("report missing %s:\n%s", want, report)
+		}
+	}
+	if strings.Contains(report, "examples/demo") {
+		t.Fatalf("exempt package flagged:\n%s", report)
+	}
+	// The statement-free root package must be ignored, not counted as
+	// untested.
+	if strings.Contains(report, "FLOOR cocosketch ") {
+		t.Fatalf("no-statements package flagged:\n%s", report)
+	}
+}
+
+func TestScanAllPass(t *testing.T) {
+	in := "ok  \tcocosketch/internal/core\t0.1s\tcoverage: 80.0% of statements\n"
+	_, bad, err := scan(strings.NewReader(in), 75, nil)
+	if err != nil || bad != 0 {
+		t.Fatalf("bad = %d, err = %v", bad, err)
+	}
+}
+
+func TestScanRejectsEmptyInput(t *testing.T) {
+	if _, _, err := scan(strings.NewReader("random noise\n"), 75, nil); err == nil {
+		t.Fatal("vacuous input accepted")
+	}
+}
+
+func TestScanRejectsTestFailure(t *testing.T) {
+	in := "--- FAIL: TestX (0.00s)\nFAIL\tcocosketch/internal/core\t0.1s\n"
+	if _, _, err := scan(strings.NewReader(in), 75, nil); err == nil {
+		t.Fatal("failing test output accepted")
+	}
+}
+
+func TestCoveragePercent(t *testing.T) {
+	if pct, ok := coveragePercent("ok  pkg 0.1s coverage: 12.5% of statements"); !ok || pct != 12.5 {
+		t.Fatalf("pct = %v ok = %v", pct, ok)
+	}
+	if _, ok := coveragePercent("ok  pkg 0.1s"); ok {
+		t.Fatal("missing coverage parsed")
+	}
+}

@@ -1,0 +1,47 @@
+package trace_test
+
+import (
+	"testing"
+
+	"cocosketch/internal/oracle"
+	"cocosketch/internal/trace"
+)
+
+// Cross-checks between the trace package's own accounting and the
+// oracle's independent replay. trace.FullCounts and oracle.FromTrace
+// count the same stream with separate code paths, so agreement here
+// means a bug would have to be made twice to go unnoticed.
+func TestFullCountsMatchOracle(t *testing.T) {
+	for _, tr := range []*trace.Trace{
+		trace.CAIDALike(8000, 3),
+		trace.MAWILike(8000, 3),
+	} {
+		o := oracle.FromTrace(tr)
+		want := tr.FullCounts()
+		if o.Flows() != len(want) {
+			t.Fatalf("%s: oracle sees %d flows, trace %d", tr.Name, o.Flows(), len(want))
+		}
+		if o.Total() != tr.TotalPackets() {
+			t.Fatalf("%s: oracle total %d, trace %d", tr.Name, o.Total(), tr.TotalPackets())
+		}
+		for k, v := range want {
+			if o.FullCounts()[k] != v {
+				t.Fatalf("%s: flow %v: oracle %d, trace %d", tr.Name, k, o.FullCounts()[k], v)
+			}
+		}
+	}
+}
+
+// TestPairWindowsMatchOracle pins that the heavy-change trace pair
+// shares the oracle's view of each window: the exact tables the
+// experiments diff are the ones the oracle certifies.
+func TestPairWindowsMatchOracle(t *testing.T) {
+	w1, w2 := trace.GeneratePair(trace.CAIDAConfig(6000, 5), 0.05)
+	for _, w := range []*trace.Trace{w1, w2} {
+		o := oracle.FromTrace(w)
+		if o.Total() != w.TotalPackets() || o.Flows() != len(w.FullCounts()) {
+			t.Fatalf("%s: oracle (%d weight, %d flows) disagrees with trace (%d, %d)",
+				w.Name, o.Total(), o.Flows(), w.TotalPackets(), len(w.FullCounts()))
+		}
+	}
+}
