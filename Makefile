@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-insert bench-ring fuzz fmt docs clean cover verify-stats
+.PHONY: build test race bench bench-insert bench-ring bench-smoke fuzz fmt docs clean cover verify-stats
 
 build:
 	$(GO) build ./...
@@ -9,9 +9,9 @@ test:
 	$(GO) test ./...
 
 # Race-check the concurrent packages (SPSC ring + pipeline, sharded
-# ingest engine, network-wide merge workers).
+# ingest engine, network-wide merge workers, telemetry instruments).
 race:
-	$(GO) test -race ./internal/ovs/... ./internal/core/... ./internal/netwide/... ./internal/shard/...
+	$(GO) test -race ./internal/ovs/... ./internal/core/... ./internal/netwide/... ./internal/shard/... ./internal/telemetry/...
 
 # Documentation gate: go vet plus the doc-comment linter (fails on any
 # package or exported identifier missing a doc comment).
@@ -30,7 +30,14 @@ bench-insert:
 bench-ring:
 	$(GO) test -run '^$$' -bench 'BenchmarkRingSPSC' ./internal/ovs/
 
-bench: bench-insert bench-ring
+# Telemetry overhead gate: instrumented vs disabled batched insert must
+# stay within the budget (min-of-counts rejects CI host noise; see
+# internal/tools/benchsmoke).
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkInsertBatch/' -count 6 -benchtime 1s . \
+		| $(GO) run ./internal/tools/benchsmoke -max 1.05
+
+bench: bench-insert bench-ring bench-smoke
 
 # Short fuzz pass over the multi-seed hash (equivalence with Bob32).
 fuzz:
@@ -38,9 +45,13 @@ fuzz:
 
 # Statistical verification: the differential matrix (every sketch
 # implementation against the exact oracle, variance-bound CIs), the
-# metamorphic invariants (batch/shard/serialize/merge equivalences) and
-# the injected-bias negative control that proves the matrix has power.
+# metamorphic invariants (batch/shard/serialize/merge/telemetry
+# equivalences) and the injected-bias negative control that proves the
+# matrix has power. The telemetry package is vetted and race-checked
+# here because the equivalence tests lean on its concurrent instruments.
 verify-stats:
+	$(GO) vet ./internal/telemetry/
+	$(GO) test -race -count=1 ./internal/telemetry/
 	$(GO) test ./internal/oracle/ -run 'TestDifferentialMatrix|TestMetamorphic|TestInjectedBias' -count=1 -v
 
 # Per-package coverage floor. Exempt: demo binaries, the two thin

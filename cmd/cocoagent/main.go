@@ -9,18 +9,22 @@
 // epoch sketch before it is reported. Sketch memory is per worker
 // (merge compatibility requires all shards to share one geometry).
 //
+// With -telemetry the agent serves its runtime counters as expvar-style
+// JSON on /debug/vars and mounts net/http/pprof under /debug/pprof/.
+//
 // All agents and the collector must agree on -mem, -d and -seed.
 //
 // Usage:
 //
 //	cocoagent -id 1 -collector 127.0.0.1:7700 -pcap site1.pcap
 //	cocoagent -id 2 -collector 127.0.0.1:7700 -packets 500000 -epochs 3
-//	cocoagent -id 3 -collector 127.0.0.1:7700 -packets 5000000 -workers 4
+//	cocoagent -id 3 -collector 127.0.0.1:7700 -packets 5000000 -workers 4 -telemetry 127.0.0.1:7701
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"os"
 
@@ -28,72 +32,99 @@ import (
 	"cocosketch/internal/flowkey"
 	"cocosketch/internal/netwide"
 	"cocosketch/internal/shard"
+	"cocosketch/internal/telemetry"
 	"cocosketch/internal/trace"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses args, measures the
+// configured epochs and reports them, writing progress to stdout and
+// failures to stderr. It returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cocoagent", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		id        = flag.Uint("id", 0, "agent id (unique per vantage point)")
-		collector = flag.String("collector", "127.0.0.1:7700", "collector address")
-		pcapPath  = flag.String("pcap", "", "pcap file to measure (default: synthetic)")
-		packets   = flag.Int("packets", 500_000, "synthetic packets per epoch when -pcap is unset")
-		epochs    = flag.Int("epochs", 1, "number of epochs to report")
-		memKB     = flag.Int("mem", 500, "shared sketch memory in KB")
-		d         = flag.Int("d", core.DefaultArrays, "shared number of arrays")
-		seed      = flag.Uint64("seed", 1, "shared sketch seed")
-		workers   = flag.Int("workers", 1, "ingest workers per epoch (sharded engine when > 1)")
+		id        = fs.Uint("id", 0, "agent id (unique per vantage point)")
+		collector = fs.String("collector", "127.0.0.1:7700", "collector address")
+		pcapPath  = fs.String("pcap", "", "pcap file to measure (default: synthetic)")
+		packets   = fs.Int("packets", 500_000, "synthetic packets per epoch when -pcap is unset")
+		epochs    = fs.Int("epochs", 1, "number of epochs to report")
+		memKB     = fs.Int("mem", 500, "shared sketch memory in KB")
+		d         = fs.Int("d", core.DefaultArrays, "shared number of arrays")
+		seed      = fs.Uint64("seed", 1, "shared sketch seed")
+		workers   = fs.Int("workers", 1, "ingest workers per epoch (sharded engine when > 1)")
+		telAddr   = fs.String("telemetry", "", "serve /debug/vars and /debug/pprof on this address (off when empty)")
+		redials   = fs.Int("redials", 2, "redial attempts per epoch report")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	reg := telemetry.Disabled
+	if *telAddr != "" {
+		reg = telemetry.New()
+		addr, err := telemetry.Serve(*telAddr, reg)
+		if err != nil {
+			fmt.Fprintf(stderr, "cocoagent: telemetry: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "telemetry: listening on %s\n", addr)
+	}
 
 	cfg := core.ConfigForMemory[flowkey.FiveTuple](*d, *memKB*1024, *seed)
-	agent := netwide.NewAgent(uint16(*id), cfg)
+	agent := netwide.NewAgent(uint16(*id), cfg).SetTelemetry(reg)
 
-	conn, err := net.Dial("tcp", *collector)
+	dial := func() (net.Conn, error) { return net.Dial("tcp", *collector) }
+	conn, err := dial()
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "cocoagent: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "cocoagent: %v\n", err)
+		return 1
 	}
-	defer conn.Close()
+	defer func() { conn.Close() }()
 
 	for e := 0; e < *epochs; e++ {
 		var tr *trace.Trace
 		if *pcapPath != "" {
 			f, err := os.Open(*pcapPath)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "cocoagent: %v\n", err)
-				os.Exit(1)
+				fmt.Fprintf(stderr, "cocoagent: %v\n", err)
+				return 1
 			}
 			tr, err = trace.FromPCAP(f)
 			f.Close()
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "cocoagent: %v\n", err)
-				os.Exit(1)
+				fmt.Fprintf(stderr, "cocoagent: %v\n", err)
+				return 1
 			}
 		} else {
 			tr = trace.CAIDALike(*packets, *seed+uint64(*id)*1000+uint64(e))
 		}
 		if *workers > 1 {
-			eng := shard.NewBasic(shard.Config{Workers: *workers, Seed: *seed}, cfg)
+			eng := shard.NewBasic(shard.Config{Workers: *workers, Seed: *seed, Telemetry: reg}, cfg)
 			eng.Ingest(tr.Packets)
 			eng.Close()
 			merged, err := eng.Snapshot()
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "cocoagent: sharded ingest: %v\n", err)
-				os.Exit(1)
+				fmt.Fprintf(stderr, "cocoagent: sharded ingest: %v\n", err)
+				return 1
 			}
 			if err := agent.Absorb(merged); err != nil {
-				fmt.Fprintf(os.Stderr, "cocoagent: absorb: %v\n", err)
-				os.Exit(1)
+				fmt.Fprintf(stderr, "cocoagent: absorb: %v\n", err)
+				return 1
 			}
 		} else {
 			for i := range tr.Packets {
 				agent.Observe(tr.Packets[i].Key, 1)
 			}
 		}
-		if err := agent.Report(conn); err != nil {
-			fmt.Fprintf(os.Stderr, "cocoagent: report: %v\n", err)
-			os.Exit(1)
+		if conn, err = agent.ReportWithRedial(conn, dial, *redials); err != nil {
+			fmt.Fprintf(stderr, "cocoagent: report: %v\n", err)
+			return 1
 		}
-		fmt.Printf("agent %d: epoch %d reported (%d packets)\n", *id, e, len(tr.Packets))
+		fmt.Fprintf(stdout, "agent %d: epoch %d reported (%d packets)\n", *id, e, len(tr.Packets))
 	}
+	return 0
 }

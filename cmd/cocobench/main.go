@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"cocosketch/internal/experiments"
+	"cocosketch/internal/telemetry"
 )
 
 // benchJSONFile is where -json writes the machine-readable throughput
@@ -37,12 +38,35 @@ type throughputRecord struct {
 	Labels     map[string]string `json:"labels,omitempty"`
 }
 
+// telemetrySummary is the runtime-counter digest attached to the
+// BENCH_cocobench.json document: ring-drop totals and burst-size
+// quantiles from the sharded-ingest runners (zero for experiments that
+// never touch the sharded engine).
+type telemetrySummary struct {
+	RingDrops    uint64 `json:"ring_drops"`
+	Consumed     uint64 `json:"consumed"`
+	BatchSizeP50 uint64 `json:"batch_size_p50"`
+	BatchSizeP99 uint64 `json:"batch_size_p99"`
+}
+
 // benchJSON is the top-level BENCH_cocobench.json document.
 type benchJSON struct {
-	Packets int                `json:"packets"`
-	Seed    uint64             `json:"seed"`
-	Quick   bool               `json:"quick"`
-	Results []throughputRecord `json:"results"`
+	Packets   int                `json:"packets"`
+	Seed      uint64             `json:"seed"`
+	Quick     bool               `json:"quick"`
+	Results   []throughputRecord `json:"results"`
+	Telemetry *telemetrySummary  `json:"telemetry,omitempty"`
+}
+
+// summarizeTelemetry digests a registry snapshot into the JSON fields.
+func summarizeTelemetry(snap telemetry.Snapshot) *telemetrySummary {
+	h := snap.Histograms["shard.batch_size"]
+	return &telemetrySummary{
+		RingDrops:    snap.Counters["shard.ring_drops"],
+		Consumed:     snap.Counters["shard.consumed"],
+		BatchSizeP50: h.Quantile(0.5),
+		BatchSizeP99: h.Quantile(0.99),
+	}
 }
 
 // throughputRecords pulls every row of a table that has an Mpps-like
@@ -107,9 +131,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 		workers = fs.Int("workers", 0, "max worker count of the sharded-ingest sweep (ext-scaling); 0 = min(8, GOMAXPROCS)")
 		format  = fs.String("format", "text", "output format: text or csv")
 		jsonOut = fs.Bool("json", false, "also write throughput (Mpps) results to "+benchJSONFile)
+		telAddr = fs.String("telemetry", "", "serve /debug/vars and /debug/pprof on this address while experiments run (off when empty)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	// -json wants the telemetry digest even without a live endpoint.
+	reg := telemetry.Disabled
+	if *telAddr != "" || *jsonOut {
+		reg = telemetry.New()
+	}
+	if *telAddr != "" {
+		addr, err := telemetry.Serve(*telAddr, reg)
+		if err != nil {
+			fmt.Fprintf(stderr, "cocobench: telemetry: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "telemetry: listening on %s\n", addr)
 	}
 	if *format != "text" && *format != "csv" {
 		fmt.Fprintf(stderr, "cocobench: unknown format %q\n", *format)
@@ -133,6 +172,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	cfg := experiments.RunConfig{
 		Packets: *packets, Seed: *seed, Quick: *quick, Bytes: *bytes, Workers: *workers,
+		Telemetry: reg,
 	}
 
 	failed := false
@@ -166,6 +206,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		bench.Packets = *packets
 		bench.Seed = *seed
 		bench.Quick = *quick
+		bench.Telemetry = summarizeTelemetry(reg.Snapshot())
 		if bench.Results == nil {
 			bench.Results = []throughputRecord{}
 		}

@@ -87,6 +87,48 @@ func TestRunJSON(t *testing.T) {
 	}
 }
 
+// TestRunJSONTelemetry checks the -json document carries the runtime
+// telemetry digest: a sharded-ingest experiment must populate the
+// burst-size quantiles and consumed totals (and report zero drops in
+// the default lossless mode).
+func TestRunJSONTelemetry(t *testing.T) {
+	dir := t.TempDir()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(wd)
+
+	var out, errw bytes.Buffer
+	if code := run([]string{"-run", "ext-scaling", "-quick", "-workers", "2", "-json"}, &out, &errw); code != 0 {
+		t.Fatalf("exit %d: %s", code, errw.String())
+	}
+	data, err := os.ReadFile(filepath.Join(dir, benchJSONFile))
+	if err != nil {
+		t.Fatalf("missing %s: %v", benchJSONFile, err)
+	}
+	var bench benchJSON
+	if err := json.Unmarshal(data, &bench); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if bench.Telemetry == nil {
+		t.Fatalf("no telemetry block in %s:\n%s", benchJSONFile, data)
+	}
+	if bench.Telemetry.Consumed == 0 {
+		t.Error("telemetry.consumed = 0 after a sharded-ingest sweep")
+	}
+	if bench.Telemetry.BatchSizeP50 == 0 || bench.Telemetry.BatchSizeP99 < bench.Telemetry.BatchSizeP50 {
+		t.Errorf("burst-size quantiles implausible: p50=%d p99=%d",
+			bench.Telemetry.BatchSizeP50, bench.Telemetry.BatchSizeP99)
+	}
+	if bench.Telemetry.RingDrops != 0 {
+		t.Errorf("ring_drops = %d in lossless mode", bench.Telemetry.RingDrops)
+	}
+}
+
 func TestErrors(t *testing.T) {
 	var out, errw bytes.Buffer
 	if code := run([]string{}, &out, &errw); code != 2 {

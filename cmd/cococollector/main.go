@@ -6,6 +6,10 @@
 // All agents and the collector must agree on -mem, -d and -seed (the
 // shared sketch configuration that makes shards mergeable).
 //
+// With -telemetry the collector serves its runtime counters as
+// expvar-style JSON on /debug/vars and mounts net/http/pprof under
+// /debug/pprof/.
+//
 // Usage:
 //
 //	cococollector -listen 127.0.0.1:7700 -keys SrcIP,DstIP+DstPort
@@ -23,6 +27,7 @@ import (
 	"cocosketch/internal/flowkey"
 	"cocosketch/internal/netwide"
 	"cocosketch/internal/query"
+	"cocosketch/internal/telemetry"
 )
 
 func main() {
@@ -35,8 +40,20 @@ func main() {
 		top     = flag.Int("top", 5, "rows per partial key")
 		every   = flag.Duration("every", 5*time.Second, "reporting interval")
 		oneshot = flag.Bool("oneshot", false, "print one report after the first epoch completes, then exit")
+		telAddr = flag.String("telemetry", "", "serve /debug/vars and /debug/pprof on this address (off when empty)")
 	)
 	flag.Parse()
+
+	reg := telemetry.Disabled
+	if *telAddr != "" {
+		reg = telemetry.New()
+		addr, err := telemetry.Serve(*telAddr, reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cococollector: telemetry: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("telemetry: listening on %s\n", addr)
+	}
 
 	var masks []flowkey.Mask
 	for _, expr := range strings.Split(*keys, ",") {
@@ -49,7 +66,7 @@ func main() {
 	}
 
 	cfg := core.ConfigForMemory[flowkey.FiveTuple](*d, *memKB*1024, *seed)
-	collector := netwide.NewCollector(cfg)
+	collector := netwide.NewCollector(cfg).SetTelemetry(reg)
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cococollector: %v\n", err)

@@ -5,6 +5,7 @@ import (
 
 	"cocosketch/internal/core"
 	"cocosketch/internal/flowkey"
+	"cocosketch/internal/telemetry"
 	"cocosketch/internal/trace"
 )
 
@@ -63,5 +64,44 @@ func BenchmarkInsertCocoBatch(b *testing.B) {
 	b.Run("hardware", func(b *testing.B) {
 		s := core.NewHardwareForMemory[flowkey.FiveTuple](2, 500*1024, 7)
 		run(b, s.InsertBatchUnit)
+	})
+}
+
+// BenchmarkInsertBatch compares the batched hot path with telemetry
+// disabled (the nil no-op form) and enabled (a live registry). The
+// overhead budget is <2% — the CI bench-smoke job gates the ratio; see
+// internal/tools/benchsmoke.
+func BenchmarkInsertBatch(b *testing.B) {
+	tr := trace.CAIDALike(1<<17, 3)
+	const batch = 256
+	keys := make([]flowkey.FiveTuple, len(tr.Packets))
+	for i := range tr.Packets {
+		keys[i] = tr.Packets[i].Key
+	}
+	run := func(b *testing.B, s *core.Basic[flowkey.FiveTuple]) {
+		b.ResetTimer()
+		done := 0
+		for done < b.N {
+			off := done % len(keys)
+			n := batch
+			if n > b.N-done {
+				n = b.N - done
+			}
+			if n > len(keys)-off {
+				n = len(keys) - off
+			}
+			s.InsertBatchUnit(keys[off : off+n])
+			done += n
+		}
+	}
+	b.Run("telemetry-off", func(b *testing.B) {
+		s := core.NewBasicForMemory[flowkey.FiveTuple](2, 500*1024, 7)
+		s.SetTelemetry(telemetry.NewSketchMetrics(telemetry.Disabled, "core"))
+		run(b, s)
+	})
+	b.Run("telemetry-on", func(b *testing.B) {
+		s := core.NewBasicForMemory[flowkey.FiveTuple](2, 500*1024, 7)
+		s.SetTelemetry(telemetry.NewSketchMetrics(telemetry.New(), "core"))
+		run(b, s)
 	})
 }

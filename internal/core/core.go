@@ -20,6 +20,7 @@ package core
 import (
 	"cocosketch/internal/flowkey"
 	"cocosketch/internal/sketch"
+	"cocosketch/internal/telemetry"
 	"cocosketch/internal/xrand"
 )
 
@@ -76,6 +77,11 @@ type table[K flowkey.Key] struct {
 	// idxbuf holds precomputed bucket indices for InsertBatch, d per
 	// packet; it grows to one chunk and is reused.
 	idxbuf []uint32
+	// ops tracks update outcomes with plain single-writer counts;
+	// tel/telBase flush them as atomic deltas (see telemetry.go).
+	ops     opCounts
+	tel     *telemetry.SketchMetrics
+	telBase opCounts
 }
 
 func newTable[K flowkey.Key](cfg Config) table[K] {
@@ -190,6 +196,7 @@ func (s *Basic[K]) Insert(key K, w uint64) {
 		return
 	}
 	s.insertAt(key, w, s.hashIndices(key))
+	s.flushTel()
 }
 
 // insertAt runs the update with the d bucket indices already computed.
@@ -209,6 +216,7 @@ func (s *Basic[K]) insertAt(key K, w uint64, idx []uint32) {
 		b := &buckets[pos]
 		if b.Val != 0 && b.Key == key {
 			b.Val += w
+			s.ops.matched++
 			return
 		}
 		switch {
@@ -232,6 +240,9 @@ func (s *Basic[K]) insertAt(key K, w uint64, idx []uint32) {
 	b.Val += w
 	if s.rng.Bernoulli(w, b.Val) {
 		b.Key = key
+		s.ops.replaced++
+	} else {
+		s.ops.kept++
 	}
 }
 
@@ -258,6 +269,7 @@ func (s *Basic[K]) InsertBatch(keys []K, ws []uint64) {
 			}
 		}
 	}
+	s.flushTel()
 }
 
 // InsertBatchUnit inserts every key with weight 1 (the packet-count
@@ -274,6 +286,7 @@ func (s *Basic[K]) InsertBatchUnit(keys []K) {
 			s.insertAt(chunk[p], 1, idx[p*s.d:(p+1)*s.d])
 		}
 	}
+	s.flushTel()
 }
 
 // Reseed replaces the replacement-draw RNG without touching the hash
@@ -380,18 +393,26 @@ func (s *Hardware[K]) Insert(key K, w uint64) {
 		return
 	}
 	s.insertAt(key, w, s.hashIndices(key))
+	s.flushTel()
 }
 
 // insertAt runs the update with the d bucket indices already computed;
-// the RNG draw sequence matches the per-packet path exactly.
+// the RNG draw sequence matches the per-packet path exactly. Outcomes
+// are counted per array (each of the d arrays updates independently).
 func (s *Hardware[K]) insertAt(key K, w uint64, idx []uint32) {
 	buckets := s.buckets
 	base := 0
 	for i := 0; i < s.d; i++ {
 		b := &buckets[base+int(idx[i])]
 		b.Val += w
-		if b.Key != key && s.divider.Replace(s.rng, w, b.Val) {
+		switch {
+		case b.Key == key:
+			s.ops.matched++
+		case s.divider.Replace(s.rng, w, b.Val):
 			b.Key = key
+			s.ops.replaced++
+		default:
+			s.ops.kept++
 		}
 		base += s.l
 	}
@@ -417,6 +438,7 @@ func (s *Hardware[K]) InsertBatch(keys []K, ws []uint64) {
 			}
 		}
 	}
+	s.flushTel()
 }
 
 // InsertBatchUnit inserts every key with weight 1.
@@ -432,6 +454,7 @@ func (s *Hardware[K]) InsertBatchUnit(keys []K) {
 			s.insertAt(chunk[p], 1, idx[p*s.d:(p+1)*s.d])
 		}
 	}
+	s.flushTel()
 }
 
 // Reseed replaces the replacement-draw RNG without touching the hash

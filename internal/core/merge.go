@@ -59,6 +59,8 @@ func (t *table[K]) mergeTable(other *table[K]) error {
 	for i := range t.buckets {
 		mergeBuckets(t, &t.buckets[i], &other.buckets[i])
 	}
+	t.ops.merges++
+	t.flushTel()
 	return nil
 }
 

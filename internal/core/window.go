@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"cocosketch/internal/flowkey"
+	"cocosketch/internal/telemetry"
 )
 
 // Window maintains measurement over the last W epochs as a ring of
@@ -20,6 +21,9 @@ type Window struct {
 	cur int
 	// epoch counts total rotations, for labeling.
 	epoch uint64
+	// tel, when set, receives rotation counts and is installed on
+	// shards created by Rotate.
+	tel *telemetry.SketchMetrics
 }
 
 // NewWindow creates a sliding window of w epochs, each shard using the
@@ -50,8 +54,11 @@ func (w *Window) Insert(key flowkey.FiveTuple, weight uint64) {
 // replaced by a fresh one, which becomes current.
 func (w *Window) Rotate() {
 	w.cur = (w.cur + 1) % len(w.shards)
-	w.shards[w.cur] = NewBasic[flowkey.FiveTuple](w.cfg)
+	w.shards[w.cur] = NewBasic[flowkey.FiveTuple](w.cfg).SetTelemetry(w.tel)
 	w.epoch++
+	if w.tel != nil {
+		w.tel.Rotations.Inc()
+	}
 }
 
 // Decode merges the live shards into one full-key table covering the

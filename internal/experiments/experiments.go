@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"cocosketch/internal/telemetry"
 )
 
 // RunConfig scales a runner. The zero value is not usable; call
@@ -30,6 +32,10 @@ type RunConfig struct {
 	// worker counts 1, 2, 4, … up to Workers. Zero means
 	// min(8, GOMAXPROCS). Throughput only scales with physical cores.
 	Workers int
+	// Telemetry, when non-nil, instruments the sharded-ingest runners
+	// (ring drops, burst sizes, sketch outcomes). Nil keeps the
+	// measurement loops un-instrumented.
+	Telemetry *telemetry.Registry
 }
 
 // DefaultConfig returns the standard scaled-down configuration.

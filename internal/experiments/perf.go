@@ -244,7 +244,7 @@ func runScaling(cfg RunConfig) (*TableResult, error) {
 	sketchCfg := core.ConfigForMemory[flowkey.FiveTuple](core.DefaultArrays, 500*1024, cfg.Seed+7)
 	var base float64
 	for _, w := range counts {
-		eng := shard.NewBasic(shard.Config{Workers: w, Seed: cfg.Seed, Bytes: cfg.Bytes}, sketchCfg)
+		eng := shard.NewBasic(shard.Config{Workers: w, Seed: cfg.Seed, Bytes: cfg.Bytes, Telemetry: cfg.Telemetry}, sketchCfg)
 		start := time.Now()
 		eng.Ingest(tr.Packets)
 		eng.Close()

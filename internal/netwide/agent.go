@@ -6,6 +6,7 @@ import (
 
 	"cocosketch/internal/core"
 	"cocosketch/internal/flowkey"
+	"cocosketch/internal/telemetry"
 )
 
 // Agent is one vantage point: it measures local traffic into a basic
@@ -21,6 +22,42 @@ type Agent struct {
 	cfg    core.Config
 	sketch *core.Basic[flowkey.FiveTuple]
 	epoch  uint32
+	tel    agentTel
+	// sketchTel is re-installed on each epoch's fresh sketch.
+	sketchTel *telemetry.SketchMetrics
+}
+
+// agentTel groups the agent-side counters (all nil-safe; nil without
+// SetTelemetry).
+type agentTel struct {
+	// observed counts packets measured into the current epoch (one
+	// per Observe, the batch length for ObserveBatch, and the absorbed
+	// sketch's total weight for Absorb).
+	observed *telemetry.Counter
+	// reportsSent counts successfully acknowledged epoch reports;
+	// reportBytes their serialized payload bytes.
+	reportsSent *telemetry.Counter
+	reportBytes *telemetry.Counter
+	// absorbs counts external sketches merged in (sharded ingest).
+	absorbs *telemetry.Counter
+	// reconnects counts redials performed by ReportWithRedial.
+	reconnects *telemetry.Counter
+}
+
+// SetTelemetry registers the agent's counters ("netwide."-prefixed)
+// plus a sketch outcome group ("core."-prefixed) on r; a nil registry
+// disables telemetry. Returns the agent for chaining.
+func (a *Agent) SetTelemetry(r *telemetry.Registry) *Agent {
+	a.tel = agentTel{
+		observed:    r.Counter("netwide.observed"),
+		reportsSent: r.Counter("netwide.reports_sent"),
+		reportBytes: r.Counter("netwide.report_bytes"),
+		absorbs:     r.Counter("netwide.absorbs"),
+		reconnects:  r.Counter("netwide.reconnects"),
+	}
+	a.sketchTel = telemetry.NewSketchMetrics(r, "core")
+	a.sketch.SetTelemetry(a.sketchTel)
+	return a
 }
 
 // NewAgent creates an agent with the shared sketch configuration.
@@ -35,6 +72,7 @@ func NewAgent(id uint16, cfg core.Config) *Agent {
 // Observe records one packet.
 func (a *Agent) Observe(key flowkey.FiveTuple, w uint64) {
 	a.sketch.Insert(key, w)
+	a.tel.observed.Inc()
 }
 
 // ObserveBatch records a burst of unit-weight packets through the
@@ -42,6 +80,7 @@ func (a *Agent) Observe(key flowkey.FiveTuple, w uint64) {
 // OVS pipeline).
 func (a *Agent) ObserveBatch(keys []flowkey.FiveTuple) {
 	a.sketch.InsertBatchUnit(keys)
+	a.tel.observed.Add(uint64(len(keys)))
 }
 
 // Absorb merges an externally built sketch of the shared Config into
@@ -49,7 +88,12 @@ func (a *Agent) ObserveBatch(keys []flowkey.FiveTuple) {
 // shard.Engine measures the epoch's traffic across N workers, and its
 // merged snapshot lands here before Report ships it to the collector.
 func (a *Agent) Absorb(s *core.Basic[flowkey.FiveTuple]) error {
-	return a.sketch.Merge(s)
+	if err := a.sketch.Merge(s); err != nil {
+		return err
+	}
+	a.tel.absorbs.Inc()
+	a.tel.observed.Add(s.SumValues())
+	return nil
 }
 
 // Epoch returns the current epoch number.
@@ -75,6 +119,34 @@ func (a *Agent) Report(conn net.Conn) error {
 		return fmt.Errorf("netwide: unexpected ack (type %d, epoch %d)", ack.Type, ack.Epoch)
 	}
 	a.epoch++
-	a.sketch = core.NewBasic[flowkey.FiveTuple](a.cfg)
+	a.sketch = core.NewBasic[flowkey.FiveTuple](a.cfg).SetTelemetry(a.sketchTel)
+	a.tel.reportsSent.Inc()
+	a.tel.reportBytes.Add(uint64(len(blob)))
 	return nil
+}
+
+// ReportWithRedial ships the epoch like Report, but on a transport
+// error it closes the connection, redials with dial and retries —
+// reconnect accounting for long-running agents whose collector
+// restarts between epochs. Each redial is counted in the
+// "netwide.reconnects" telemetry counter. It returns the connection to
+// use for the next epoch (the original on success, the last redialed
+// one otherwise) and the first error once attempts are exhausted.
+//
+// The epoch sketch is only reset after a successful acknowledgement,
+// so a retried report re-sends the same epoch; the collector's
+// duplicate detection makes that idempotent.
+func (a *Agent) ReportWithRedial(conn net.Conn, dial func() (net.Conn, error), attempts int) (net.Conn, error) {
+	err := a.Report(conn)
+	for try := 0; err != nil && try < attempts; try++ {
+		conn.Close()
+		next, derr := dial()
+		if derr != nil {
+			return conn, fmt.Errorf("netwide: redial after %q: %w", err, derr)
+		}
+		conn = next
+		a.tel.reconnects.Inc()
+		err = a.Report(conn)
+	}
+	return conn, err
 }

@@ -10,6 +10,7 @@ import (
 	"cocosketch/internal/core"
 	"cocosketch/internal/flowkey"
 	"cocosketch/internal/query"
+	"cocosketch/internal/telemetry"
 )
 
 // Collector receives per-epoch sketches from agents, merges them into
@@ -17,10 +18,42 @@ import (
 // queries. Safe for concurrent use.
 type Collector struct {
 	cfg core.Config
+	tel collectorTel
 
 	mu       sync.Mutex
 	epochs   map[uint32]*core.Basic[flowkey.FiveTuple]
 	reported map[uint32]map[uint16]bool
+}
+
+// collectorTel groups the collector-side instruments (all nil-safe;
+// nil without SetTelemetry).
+type collectorTel struct {
+	// reportsRecv counts accepted sketch reports; recvBytes their
+	// payload bytes; dupReports duplicates dropped by retry detection.
+	reportsRecv *telemetry.Counter
+	recvBytes   *telemetry.Counter
+	dupReports  *telemetry.Counter
+	// mergeErrors counts reports rejected by an incompatible merge.
+	mergeErrors *telemetry.Counter
+	// conns tracks live agent connections; epochsTracked the epochs
+	// held in memory.
+	conns         *telemetry.Gauge
+	epochsTracked *telemetry.Gauge
+}
+
+// SetTelemetry registers the collector's counters ("netwide."-
+// prefixed) on r; a nil registry disables telemetry. Returns the
+// collector for chaining.
+func (c *Collector) SetTelemetry(r *telemetry.Registry) *Collector {
+	c.tel = collectorTel{
+		reportsRecv:   r.Counter("netwide.reports_received"),
+		recvBytes:     r.Counter("netwide.recv_bytes"),
+		dupReports:    r.Counter("netwide.dup_reports"),
+		mergeErrors:   r.Counter("netwide.merge_errors"),
+		conns:         r.Gauge("netwide.agent_conns"),
+		epochsTracked: r.Gauge("netwide.epochs_tracked"),
+	}
+	return c
 }
 
 // NewCollector creates a collector expecting sketches of the given
@@ -45,7 +78,9 @@ func (c *Collector) Serve(l net.Listener) error {
 			}
 			return err
 		}
+		c.tel.conns.Add(1)
 		go func() {
+			defer c.tel.conns.Add(-1)
 			defer conn.Close()
 			_ = c.Handle(conn)
 		}()
@@ -84,18 +119,23 @@ func (c *Collector) ingest(msg Message) error {
 	defer c.mu.Unlock()
 	if agents, ok := c.reported[msg.Epoch]; ok && agents[msg.AgentID] {
 		// Duplicate report (agent retry after lost ack): ignore.
+		c.tel.dupReports.Inc()
 		return nil
 	}
 	agg, ok := c.epochs[msg.Epoch]
 	if !ok {
 		c.epochs[msg.Epoch] = shard
+		c.tel.epochsTracked.Add(1)
 	} else if err := agg.Merge(shard); err != nil {
+		c.tel.mergeErrors.Inc()
 		return fmt.Errorf("netwide: agent %d epoch %d: %w", msg.AgentID, msg.Epoch, err)
 	}
 	if c.reported[msg.Epoch] == nil {
 		c.reported[msg.Epoch] = make(map[uint16]bool)
 	}
 	c.reported[msg.Epoch][msg.AgentID] = true
+	c.tel.reportsRecv.Inc()
+	c.tel.recvBytes.Add(uint64(len(msg.Payload)))
 	return nil
 }
 

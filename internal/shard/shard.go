@@ -35,10 +35,12 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"cocosketch/internal/core"
 	"cocosketch/internal/flowkey"
 	"cocosketch/internal/ovs"
+	"cocosketch/internal/telemetry"
 	"cocosketch/internal/trace"
 )
 
@@ -77,6 +79,11 @@ type Config struct {
 	// Bytes weights each packet by its wire size instead of counting
 	// packets, matching the Bytes switch of the experiment harness.
 	Bytes bool
+	// Telemetry, when non-nil, receives the engine's runtime metrics
+	// (see the "shard." names in DESIGN.md §11). All instrumentation
+	// is burst-level — one atomic per 64-packet burst, never one per
+	// packet — and compiles to nil-checks when Telemetry is nil.
+	Telemetry *telemetry.Registry
 }
 
 // DefaultRingCapacity is the per-worker ring size when Config leaves
@@ -112,13 +119,52 @@ type pauseReq struct {
 	release chan struct{}
 }
 
+// engineTel groups the engine's telemetry instruments. Every field is
+// nil when Config.Telemetry is nil, which turns each record call into
+// a predictable nil-check (see package telemetry).
+type engineTel struct {
+	// dispatched/dropped/consumed mirror Stats as live counters.
+	dispatched *telemetry.Counter
+	dropped    *telemetry.Counter
+	consumed   *telemetry.Counter
+	// pushFail counts TryPushN attempts that could not place a full
+	// burst (the ring was full and the dispatcher had to spin or drop).
+	pushFail *telemetry.Counter
+	// batchSize is the distribution of drain-burst sizes popped by the
+	// workers — small bursts mean the workers are outrunning ingest.
+	batchSize *telemetry.Histogram
+	// snapshotWaitNs and mergeNs split Snapshot latency into the
+	// barrier wait and the sketch merge; decodeNs covers full Decode
+	// calls (snapshot + table build).
+	snapshotWaitNs *telemetry.Histogram
+	mergeNs        *telemetry.Histogram
+	decodeNs       *telemetry.Histogram
+}
+
+// newEngineTel registers the engine metrics (no-ops on nil registry).
+func newEngineTel(r *telemetry.Registry) engineTel {
+	return engineTel{
+		dispatched:     r.Counter("shard.dispatched"),
+		dropped:        r.Counter("shard.ring_drops"),
+		consumed:       r.Counter("shard.consumed"),
+		pushFail:       r.Counter("shard.ring_push_fail"),
+		batchSize:      r.Histogram("shard.batch_size"),
+		snapshotWaitNs: r.Histogram("shard.snapshot_wait_ns"),
+		mergeNs:        r.Histogram("shard.merge_ns"),
+		decodeNs:       r.Histogram("shard.decode_ns"),
+	}
+}
+
 // worker is one consumer: a ring, a private sketch, and its progress
-// counter.
+// counter, plus its per-shard telemetry (ring occupancy sampled at
+// dispatch, drops charged to this shard).
 type worker[S Sketch[S]] struct {
 	ring      *ovs.Ring
 	sketch    S
 	consumed  atomic.Uint64
 	lastPause *pauseReq
+	telOcc    *telemetry.Gauge
+	telDrops  *telemetry.Counter
 }
 
 // Engine is the sharded ingest engine. Construct with New (or the
@@ -142,6 +188,9 @@ type Engine[S Sketch[S]] struct {
 
 	// pause publishes the current snapshot barrier to the workers.
 	pause atomic.Pointer[pauseReq]
+
+	// tel holds the engine's telemetry instruments (all nil-safe).
+	tel engineTel
 
 	// mu serializes the control plane: Snapshot/Decode/Query/Close.
 	mu     sync.Mutex
@@ -174,9 +223,15 @@ func New[S Sketch[S]](cfg Config, newSketch func(i int) S) *Engine[S] {
 		rssSeed:   []uint32{uint32(cfg.Seed) ^ 0x5bd1e995},
 		hashOut:   make([]uint32, 1),
 		burst:     make([][]trace.Packet, cfg.Workers),
+		tel:       newEngineTel(cfg.Telemetry),
 	}
 	for i := 0; i < cfg.Workers; i++ {
-		w := &worker[S]{ring: ovs.NewRing(cfg.RingCapacity), sketch: newSketch(i)}
+		w := &worker[S]{
+			ring:     ovs.NewRing(cfg.RingCapacity),
+			sketch:   newSketch(i),
+			telOcc:   cfg.Telemetry.Gauge(fmt.Sprintf("shard.ring_occupancy.w%d", i)),
+			telDrops: cfg.Telemetry.Counter(fmt.Sprintf("shard.ring_drops.w%d", i)),
+		}
 		e.workers = append(e.workers, w)
 		e.burst[i] = make([]trace.Packet, 0, cfg.Burst)
 	}
@@ -194,26 +249,31 @@ func rngSalt(i int) uint64 { return uint64(i) * 0x9e3779b97f4a7c15 }
 // NewBasic builds an engine of basic (software, §4.1) CocoSketch
 // workers sharing sketchCfg. Sharing one core.Config keeps the workers
 // merge-compatible; each worker i > 0 gets its replacement RNG
-// reseeded so shards do not replay identical draw sequences.
+// reseeded so shards do not replay identical draw sequences. With
+// Config.Telemetry set, all worker sketches flush their update
+// outcomes into one shared "core."-prefixed counter group.
 func NewBasic(cfg Config, sketchCfg core.Config) *Engine[*core.Basic[flowkey.FiveTuple]] {
+	m := telemetry.NewSketchMetrics(cfg.Telemetry, "core")
 	return New(cfg, func(i int) *core.Basic[flowkey.FiveTuple] {
 		s := core.NewBasic[flowkey.FiveTuple](sketchCfg)
 		if i > 0 {
 			s.Reseed(sketchCfg.Seed ^ rngSalt(i))
 		}
-		return s
+		return s.SetTelemetry(m)
 	})
 }
 
 // NewHardware builds an engine of hardware-friendly (§4.2) CocoSketch
-// workers sharing sketchCfg; see NewBasic for the seeding scheme.
+// workers sharing sketchCfg; see NewBasic for the seeding and
+// telemetry scheme.
 func NewHardware(cfg Config, sketchCfg core.Config) *Engine[*core.Hardware[flowkey.FiveTuple]] {
+	m := telemetry.NewSketchMetrics(cfg.Telemetry, "core")
 	return New(cfg, func(i int) *core.Hardware[flowkey.FiveTuple] {
 		s := core.NewHardware[flowkey.FiveTuple](sketchCfg)
 		if i > 0 {
 			s.Reseed(sketchCfg.Seed ^ rngSalt(i))
 		}
-		return s
+		return s.SetTelemetry(m)
 	})
 }
 
@@ -261,6 +321,8 @@ func (e *Engine[S]) runWorker(w *worker[S]) {
 			w.sketch.InsertBatchUnit(keys[:n])
 		}
 		w.consumed.Add(uint64(n))
+		e.tel.batchSize.Observe(uint64(n))
+		e.tel.consumed.Add(uint64(n))
 	}
 }
 
@@ -288,6 +350,7 @@ func (e *Engine[S]) Ingest(ps []trace.Packet) {
 		}
 	}
 	e.dispatched.Add(uint64(len(ps)))
+	e.tel.dispatched.Add(uint64(len(ps)))
 }
 
 // IngestKeys dispatches bare keys with unit weight — the convenient
@@ -301,19 +364,30 @@ func (e *Engine[S]) IngestKeys(keys []flowkey.FiveTuple) {
 		}
 	}
 	e.dispatched.Add(uint64(len(keys)))
+	e.tel.dispatched.Add(uint64(len(keys)))
 }
 
 // flushWorker pushes worker w's pending burst into its ring, spinning
-// (or dropping, per DropOnFull) while the ring is full.
+// (or dropping, per DropOnFull) while the ring is full. With telemetry
+// on, each flush samples the ring's occupancy and counts push attempts
+// that could not place the whole remaining burst.
 func (e *Engine[S]) flushWorker(w int) {
 	b := e.burst[w]
-	ring := e.workers[w].ring
+	wk := e.workers[w]
+	ring := wk.ring
+	if wk.telOcc != nil {
+		wk.telOcc.Set(int64(ring.Len()))
+	}
 	for off := 0; off < len(b); {
 		n := ring.TryPushN(b[off:])
 		off += n
 		if off < len(b) {
+			e.tel.pushFail.Inc()
 			if e.cfg.DropOnFull {
-				e.dropped.Add(uint64(len(b) - off))
+				dropped := uint64(len(b) - off)
+				e.dropped.Add(dropped)
+				e.tel.dropped.Add(dropped)
+				wk.telDrops.Add(dropped)
 				break
 			}
 			runtime.Gosched()
@@ -379,25 +453,38 @@ func (e *Engine[S]) Snapshot() (S, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.closed {
-		return e.mergeWorkers()
+		return e.timedMerge()
 	}
+	start := time.Now()
 	req := &pauseReq{release: make(chan struct{})}
 	req.arrived.Add(len(e.workers))
 	e.pause.Store(req)
 	req.arrived.Wait()
+	e.tel.snapshotWaitNs.Observe(uint64(time.Since(start).Nanoseconds()))
 	defer close(req.release)
-	return e.mergeWorkers()
+	return e.timedMerge()
+}
+
+// timedMerge wraps mergeWorkers with the merge-latency histogram.
+func (e *Engine[S]) timedMerge() (S, error) {
+	start := time.Now()
+	s, err := e.mergeWorkers()
+	e.tel.mergeNs.Observe(uint64(time.Since(start).Nanoseconds()))
+	return s, err
 }
 
 // Decode returns the merged full-key table across all workers — the
 // control plane's Step 3 over the whole engine. Live engines pay one
 // snapshot barrier; closed engines read the final state directly.
 func (e *Engine[S]) Decode() (map[flowkey.FiveTuple]uint64, error) {
+	start := time.Now()
 	s, err := e.Snapshot()
 	if err != nil {
 		return nil, err
 	}
-	return s.Decode(), nil
+	out := s.Decode()
+	e.tel.decodeNs.Observe(uint64(time.Since(start).Nanoseconds()))
+	return out, nil
 }
 
 // Query estimates one full-key flow across all workers. It snapshots

@@ -1,0 +1,156 @@
+package telemetry
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// histBuckets is the fixed bucket count: bucket i holds observations
+// whose bit length is i, i.e. bucket 0 is the value 0 and bucket i>0
+// covers [2^(i-1), 2^i). 65 buckets span the whole uint64 range.
+const histBuckets = 65
+
+// Histogram is a lock-free fixed-bucket histogram with log2 buckets:
+// Observe is one atomic add on the value's bucket plus one on the
+// running sum, with no locking and no allocation. Log2 buckets trade
+// resolution (quantiles are exact only to a factor of two) for a
+// fixed, mergeable 65-counter layout that needs no configuration and
+// covers the full uint64 range — the right trade for latency-in-ns
+// and batch-size distributions whose interesting structure is
+// order-of-magnitude.
+//
+// The zero value is ready to use; a nil *Histogram is a valid no-op.
+// Safe for concurrent use.
+type Histogram struct {
+	buckets [histBuckets]atomic.Uint64
+	sum     atomic.Uint64
+}
+
+// bucketOf maps a value to its log2 bucket index.
+func bucketOf(v uint64) int { return bits.Len64(v) }
+
+// bucketFloor returns the smallest value of bucket i (0 for bucket 0).
+func bucketFloor(i int) uint64 {
+	if i == 0 {
+		return 0
+	}
+	return 1 << (i - 1)
+}
+
+// Observe records one value. No-op on a nil receiver.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	h.buckets[bucketOf(v)].Add(1)
+	h.sum.Add(v)
+}
+
+// Snapshot returns a point-in-time copy of the bucket counts and sum.
+// Each bucket is loaded atomically, so per-bucket counts (and hence
+// Count) are monotone across successive snapshots even under
+// concurrent Observe calls. A nil receiver returns the zero snapshot.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	if h == nil {
+		return s
+	}
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	s.Sum = h.sum.Load()
+	return s
+}
+
+// Merge adds other's observations into h, as if h had observed the
+// concatenation of both streams (bucket counts and sums are exact, so
+// the merged histogram is bit-identical to single-stream ingestion —
+// property-tested in histogram_test.go). No-op when either side is
+// nil.
+func (h *Histogram) Merge(other *Histogram) {
+	if h == nil || other == nil {
+		return
+	}
+	s := other.Snapshot()
+	for i, n := range s.Buckets {
+		if n != 0 {
+			h.buckets[i].Add(n)
+		}
+	}
+	h.sum.Add(s.Sum)
+}
+
+// HistogramSnapshot is an immutable copy of a histogram's state,
+// queryable without further synchronization.
+type HistogramSnapshot struct {
+	// Buckets[i] counts observations with bit length i (bucket 0 is
+	// the value 0; bucket i>0 covers [2^(i-1), 2^i)).
+	Buckets [histBuckets]uint64
+	// Sum is the exact total of all observed values.
+	Sum uint64
+}
+
+// Count returns the total number of observations.
+func (s HistogramSnapshot) Count() uint64 {
+	var n uint64
+	for _, b := range s.Buckets {
+		n += b
+	}
+	return n
+}
+
+// Mean returns the exact average observation (0 when empty).
+func (s HistogramSnapshot) Mean() float64 {
+	n := s.Count()
+	if n == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(n)
+}
+
+// Quantile returns the lower bound of the log2 bucket containing the
+// q-th quantile observation (q in [0,1]), i.e. an underestimate that
+// is within a factor of two of the true quantile. Empty histograms
+// return 0.
+func (s HistogramSnapshot) Quantile(q float64) uint64 {
+	n := s.Count()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// rank is the 1-based index of the target observation.
+	rank := uint64(q*float64(n-1)) + 1
+	var cum uint64
+	for i, b := range s.Buckets {
+		cum += b
+		if cum >= rank {
+			return bucketFloor(i)
+		}
+	}
+	return bucketFloor(histBuckets - 1)
+}
+
+// Max returns the lower bound of the highest non-empty bucket (0 when
+// empty) — the order of magnitude of the largest observation.
+func (s HistogramSnapshot) Max() uint64 {
+	for i := histBuckets - 1; i >= 0; i-- {
+		if s.Buckets[i] != 0 {
+			return bucketFloor(i)
+		}
+	}
+	return 0
+}
+
+// AddSnapshot accumulates another snapshot into s (the snapshot-level
+// form of Histogram.Merge).
+func (s *HistogramSnapshot) AddSnapshot(o HistogramSnapshot) {
+	for i, n := range o.Buckets {
+		s.Buckets[i] += n
+	}
+	s.Sum += o.Sum
+}

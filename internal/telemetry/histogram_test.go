@@ -1,0 +1,144 @@
+package telemetry
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestHistogramBuckets pins the log2 bucket boundaries: 0 is its own
+// bucket, and bucket i>0 covers [2^(i-1), 2^i).
+func TestHistogramBuckets(t *testing.T) {
+	cases := []struct {
+		v      uint64
+		bucket int
+	}{
+		{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{63, 6}, {64, 7}, {127, 7}, {1 << 20, 21}, {^uint64(0), 64},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.bucket {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.v, got, c.bucket)
+		}
+	}
+	if bucketFloor(0) != 0 || bucketFloor(1) != 1 || bucketFloor(7) != 64 {
+		t.Fatalf("bucketFloor boundaries wrong: %d %d %d",
+			bucketFloor(0), bucketFloor(1), bucketFloor(7))
+	}
+}
+
+// TestHistogramQuantile checks quantiles return the lower bound of the
+// right bucket (within-2x contract) on a known distribution.
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	// 90 observations of 10 (bucket 4: [8,16)), 10 of 1000 (bucket 10:
+	// [512,1024)).
+	for i := 0; i < 90; i++ {
+		h.Observe(10)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1000)
+	}
+	s := h.Snapshot()
+	if got := s.Quantile(0.50); got != 8 {
+		t.Errorf("p50 = %d, want 8", got)
+	}
+	if got := s.Quantile(0.99); got != 512 {
+		t.Errorf("p99 = %d, want 512", got)
+	}
+	if got := s.Max(); got != 512 {
+		t.Errorf("max = %d, want 512", got)
+	}
+	if got := s.Count(); got != 100 {
+		t.Errorf("count = %d, want 100", got)
+	}
+	if wantSum := uint64(90*10 + 10*1000); s.Sum != wantSum {
+		t.Errorf("sum = %d, want %d", s.Sum, wantSum)
+	}
+	if got, want := s.Mean(), float64(90*10+10*1000)/100; got != want {
+		t.Errorf("mean = %g, want %g", got, want)
+	}
+
+	var empty HistogramSnapshot
+	if empty.Quantile(0.5) != 0 || empty.Max() != 0 || empty.Mean() != 0 {
+		t.Error("empty snapshot queries are not zero")
+	}
+	// Out-of-range q clamps.
+	if s.Quantile(-1) != s.Quantile(0) || s.Quantile(2) != s.Quantile(1) {
+		t.Error("out-of-range quantiles do not clamp")
+	}
+}
+
+// TestHistogramMergeEqualsConcatenation is the merge property test:
+// for random streams split at random points, merging the per-part
+// histograms must be bit-identical to ingesting the concatenated
+// stream — both via Histogram.Merge and snapshot-level AddSnapshot.
+func TestHistogramMergeEqualsConcatenation(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xC0C0))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(2000)
+		vals := make([]uint64, n)
+		for i := range vals {
+			// Mix magnitudes: small counts, mid values, and an
+			// occasional huge outlier.
+			switch rng.Intn(3) {
+			case 0:
+				vals[i] = uint64(rng.Intn(10))
+			case 1:
+				vals[i] = uint64(rng.Intn(1 << 20))
+			default:
+				vals[i] = rng.Uint64()
+			}
+		}
+		cut := rng.Intn(n + 1)
+
+		var whole, left, right, merged Histogram
+		for _, v := range vals {
+			whole.Observe(v)
+		}
+		for _, v := range vals[:cut] {
+			left.Observe(v)
+		}
+		for _, v := range vals[cut:] {
+			right.Observe(v)
+		}
+		merged.Merge(&left)
+		merged.Merge(&right)
+
+		want, got := whole.Snapshot(), merged.Snapshot()
+		if want != got {
+			t.Fatalf("trial %d (n=%d cut=%d): merged snapshot differs from concatenated stream", trial, n, cut)
+		}
+
+		snap := left.Snapshot()
+		snap.AddSnapshot(right.Snapshot())
+		if snap != want {
+			t.Fatalf("trial %d: AddSnapshot differs from concatenated stream", trial)
+		}
+	}
+}
+
+// TestHistogramHammer checks exact count and sum when 16 goroutines
+// observe concurrently (run under -race via make race).
+func TestHistogramHammer(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for g := 0; g < hammerGoroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < hammerOps; i++ {
+				h.Observe(uint64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if got := s.Count(); got != hammerGoroutines*hammerOps {
+		t.Fatalf("count = %d, want %d", got, hammerGoroutines*hammerOps)
+	}
+	wantSum := uint64(hammerGoroutines) * uint64(hammerOps) * uint64(hammerOps-1) / 2
+	if s.Sum != wantSum {
+		t.Fatalf("sum = %d, want %d", s.Sum, wantSum)
+	}
+}

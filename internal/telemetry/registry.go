@@ -1,0 +1,148 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+)
+
+// Registry is a named collection of metrics. Registration
+// (Counter/Gauge/Histogram lookups) takes a mutex; the returned
+// metrics are then updated lock-free, so instrumented code registers
+// once at construction time and holds the pointers. Safe for
+// concurrent use.
+//
+// A nil *Registry is the disabled form (see Disabled): every lookup
+// returns a nil metric whose methods are no-ops.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// Disabled is the no-op registry: lookups on it return nil metrics,
+// whose record methods compile to a nil-check and nothing else. Pass
+// it (or any nil *Registry) wherever telemetry is not wanted.
+var Disabled *Registry
+
+// New returns an empty enabled registry.
+func New() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Enabled reports whether the registry records anything (false for
+// Disabled/nil).
+func (r *Registry) Enabled() bool { return r != nil }
+
+// Counter returns the counter registered under name, creating it on
+// first use. Concurrent callers with the same name receive the same
+// counter. Returns nil on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use. Returns nil on a nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it
+// on first use. Returns nil on a nil registry.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Snapshot is a point-in-time view of every registered metric.
+type Snapshot struct {
+	// Counters maps counter name to its value at snapshot time.
+	Counters map[string]uint64
+	// Gauges maps gauge name to its value at snapshot time.
+	Gauges map[string]int64
+	// Histograms maps histogram name to its bucket snapshot.
+	Histograms map[string]HistogramSnapshot
+}
+
+// Snapshot captures every registered metric: the metric set is frozen
+// under the registration lock and each value is one atomic load (per
+// histogram bucket for histograms), so counter values are monotone
+// across successive snapshots and no metric is ever torn. A nil
+// registry returns an empty (but non-nil-mapped) snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   make(map[string]uint64),
+		Gauges:     make(map[string]int64),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.histograms {
+		s.Histograms[name] = h.Snapshot()
+	}
+	return s
+}
+
+// Names returns the sorted names of all registered metrics (the union
+// of counters, gauges and histograms), for deterministic rendering.
+func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.histograms))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	for n := range r.gauges {
+		names = append(names, n)
+	}
+	for n := range r.histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,106 @@
+// Command benchsmoke gates the telemetry overhead budget. It reads
+// `go test -bench` output on stdin, takes the best (minimum) ns/op per
+// sub-benchmark across repetitions, and fails when the instrumented
+// variant is more than -max times slower than the baseline. It backs
+// the `make bench-smoke` target and the CI bench-smoke job.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'BenchmarkInsertBatch/' -count 6 . |
+//	    benchsmoke -off telemetry-off -on telemetry-on -max 1.05
+//
+// Min-of-counts is the standard way to reject scheduler and frequency
+// noise on shared CI hosts: the minimum is the run least perturbed by
+// the environment, and the telemetry delta (a handful of atomic adds
+// per 256-packet burst) is deterministic, so it survives the minimum.
+// The exit status is 1 when the ratio gate fails and 2 when either
+// sub-benchmark is missing from the input, so an empty or broken bench
+// run cannot pass the gate.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	off := flag.String("off", "telemetry-off", "baseline sub-benchmark name")
+	on := flag.String("on", "telemetry-on", "instrumented sub-benchmark name")
+	max := flag.Float64("max", 1.05, "maximum allowed on/off ns-per-op ratio")
+	flag.Parse()
+
+	best, err := scan(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchsmoke: %v\n", err)
+		os.Exit(2)
+	}
+	offNs, okOff := best[*off]
+	onNs, okOn := best[*on]
+	if !okOff || !okOn {
+		fmt.Fprintf(os.Stderr, "benchsmoke: missing sub-benchmarks (have %v, want %q and %q)\n",
+			names(best), *off, *on)
+		os.Exit(2)
+	}
+	ratio := onNs / offNs
+	fmt.Printf("benchsmoke: %s %.2f ns/op, %s %.2f ns/op, ratio %.4f (max %.2f)\n",
+		*off, offNs, *on, onNs, ratio, *max)
+	if ratio > *max {
+		fmt.Fprintf(os.Stderr, "benchsmoke: telemetry overhead %.1f%% exceeds the %.1f%% budget\n",
+			(ratio-1)*100, (*max-1)*100)
+		os.Exit(1)
+	}
+}
+
+// scan collects the minimum ns/op per sub-benchmark from go test -bench
+// output. Lines look like:
+//
+//	BenchmarkInsertBatch/telemetry-off-8   60139971   62.67 ns/op
+//
+// The trailing -N is the GOMAXPROCS suffix, stripped so the name
+// matches the b.Run label.
+func scan(r io.Reader) (map[string]float64, error) {
+	best := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // echo, so CI logs keep the raw numbers
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") || fields[3] != "ns/op" {
+			continue
+		}
+		ns, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "/"); i >= 0 {
+			name = name[i+1:]
+		}
+		if i := strings.LastIndex(name, "-"); i >= 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		if cur, ok := best[name]; !ok || ns < cur {
+			best[name] = ns
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return best, nil
+}
+
+// names lists the collected sub-benchmark names for error messages.
+func names(best map[string]float64) []string {
+	out := make([]string, 0, len(best))
+	for k := range best {
+		out = append(out, k)
+	}
+	return out
+}

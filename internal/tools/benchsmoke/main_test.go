@@ -1,0 +1,37 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestScanMinOfCounts(t *testing.T) {
+	in := `goos: linux
+BenchmarkInsertBatch/telemetry-off-8   60139971   62.67 ns/op
+BenchmarkInsertBatch/telemetry-off-8   49277080   81.24 ns/op
+BenchmarkInsertBatch/telemetry-on-8    61365102   66.31 ns/op
+BenchmarkInsertBatch/telemetry-on-8    57303573   64.52 ns/op
+PASS
+`
+	best, err := scan(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := best["telemetry-off"]; got != 62.67 {
+		t.Errorf("off min = %v, want 62.67", got)
+	}
+	if got := best["telemetry-on"]; got != 64.52 {
+		t.Errorf("on min = %v, want 64.52", got)
+	}
+}
+
+func TestScanNoSuffix(t *testing.T) {
+	in := "BenchmarkInsertBatch/telemetry-off   100   50.0 ns/op\n"
+	best, err := scan(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := best["telemetry-off"]; got != 50.0 {
+		t.Errorf("min = %v, want 50.0", got)
+	}
+}
