@@ -1,17 +1,30 @@
 GO ?= go
 
-.PHONY: build test race bench bench-insert bench-ring bench-smoke fuzz fmt docs clean cover verify-stats
+.PHONY: build test race chaos bench bench-insert bench-ring bench-smoke fuzz fmt docs clean cover verify-stats
 
 build:
 	$(GO) build ./...
 
+# -shuffle=on randomizes test order every run, so accidental
+# inter-test coupling fails loudly instead of riding on file order.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 # Race-check the concurrent packages (SPSC ring + pipeline, sharded
-# ingest engine, network-wide merge workers, telemetry instruments).
+# ingest engine, network-wide merge workers, telemetry instruments),
+# then the seeded chaos suite (deterministic fault injection exercises
+# the agent/collector concurrency paths hardest).
 race:
-	$(GO) test -race ./internal/ovs/... ./internal/core/... ./internal/netwide/... ./internal/shard/... ./internal/telemetry/...
+	$(GO) test -race -shuffle=on ./internal/ovs/... ./internal/core/... ./internal/netwide/... ./internal/shard/... ./internal/telemetry/...
+	$(MAKE) chaos
+
+# Seeded chaos simulation: the faultnet scenarios (latency, drops,
+# partial writes, resets, bandwidth caps, partitions) plus the
+# differential chaos gates against the exact oracle, under the race
+# detector. Every fault schedule derives from a fixed seed, so a pass
+# here is reproducible, not lucky.
+chaos:
+	$(GO) test -race -count=1 -run 'Chaos' ./internal/netwide/ ./internal/oracle/
 
 # Documentation gate: go vet plus the doc-comment linter (fails on any
 # package or exported identifier missing a doc comment).
@@ -53,6 +66,7 @@ verify-stats:
 	$(GO) vet ./internal/telemetry/
 	$(GO) test -race -count=1 ./internal/telemetry/
 	$(GO) test ./internal/oracle/ -run 'TestDifferentialMatrix|TestMetamorphic|TestInjectedBias' -count=1 -v
+	$(MAKE) chaos
 
 # Per-package coverage floor. Exempt: demo binaries, the two thin
 # network daemons (their libraries are tested directly), build tooling.

@@ -12,6 +12,12 @@
 // With -telemetry the agent serves its runtime counters as expvar-style
 // JSON on /debug/vars and mounts net/http/pprof under /debug/pprof/.
 //
+// With -spool N the agent runs hardened: each epoch is sealed into a
+// bounded coalescing spool and delivery failures are survived — the
+// agent keeps measuring through collector outages and flushes the
+// backlog when connectivity returns (exit 1 only if epochs remain
+// undelivered at the end). -write-timeout bounds each report exchange.
+//
 // All agents and the collector must agree on -mem, -d and -seed.
 //
 // Usage:
@@ -58,6 +64,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		workers   = fs.Int("workers", 1, "ingest workers per epoch (sharded engine when > 1)")
 		telAddr   = fs.String("telemetry", "", "serve /debug/vars and /debug/pprof on this address (off when empty)")
 		redials   = fs.Int("redials", 2, "redial attempts per epoch report")
+		spool     = fs.Int("spool", 0, "bound undelivered epochs in a coalescing spool and keep measuring through collector outages (0 = fail fast on report error)")
+		writeTO   = fs.Duration("write-timeout", 0, "deadline per report exchange, so a stalled collector cannot block the agent (0 = none)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -75,7 +83,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	cfg := core.ConfigForMemory[flowkey.FiveTuple](*d, *memKB*1024, *seed)
-	agent := netwide.NewAgent(uint16(*id), cfg).SetTelemetry(reg)
+	agent := netwide.NewAgent(uint16(*id), cfg).SetTelemetry(reg).SetWriteTimeout(*writeTO)
+	if *spool > 0 {
+		agent.SetSpool(*spool, netwide.SpoolCoalesce)
+	}
 
 	dial := func() (net.Conn, error) { return net.Dial("tcp", *collector) }
 	conn, err := dial()
@@ -120,11 +131,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 				agent.Observe(tr.Packets[i].Key, 1)
 			}
 		}
-		if conn, err = agent.ReportWithRedial(conn, dial, *redials); err != nil {
+		if *spool > 0 {
+			// Hardened mode: seal the epoch (never blocks ingest) and
+			// try to deliver the spool; an unreachable collector is a
+			// warning, not an exit — the epochs ride along and flush
+			// once connectivity returns.
+			agent.EndEpoch()
+			if conn, err = agent.FlushWithRedial(conn, dial, *redials); err != nil {
+				fmt.Fprintf(stderr, "cocoagent: epoch %d spooled, delivery pending: %v\n", e, err)
+				continue
+			}
+		} else if conn, err = agent.ReportWithRedial(conn, dial, *redials); err != nil {
 			fmt.Fprintf(stderr, "cocoagent: report: %v\n", err)
 			return 1
 		}
 		fmt.Fprintf(stdout, "agent %d: epoch %d reported (%d packets)\n", *id, e, len(tr.Packets))
+	}
+	if agent.PendingEpochs() > 0 {
+		if conn, err = agent.FlushWithRedial(conn, dial, *redials); err != nil || agent.PendingEpochs() > 0 {
+			fmt.Fprintf(stderr, "cocoagent: %d epochs undelivered (%d units of weight)\n",
+				agent.PendingEpochs(), agent.PendingWeight())
+			return 1
+		}
 	}
 	return 0
 }

@@ -8,7 +8,8 @@
 //
 // With -telemetry the collector serves its runtime counters as
 // expvar-style JSON on /debug/vars and mounts net/http/pprof under
-// /debug/pprof/.
+// /debug/pprof/. With -idle-timeout a connection whose agent goes
+// silent is dropped instead of holding its handler goroutine forever.
 //
 // Usage:
 //
@@ -18,6 +19,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"os"
 	"strings"
@@ -31,52 +33,66 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses args, serves agent
+// reports and prints per-epoch summaries to stdout until the process
+// is killed (or after the first complete epoch with -oneshot). It
+// returns the process exit code: 2 for usage errors, 1 for runtime
+// failures.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cococollector", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		listen  = flag.String("listen", "127.0.0.1:7700", "address to listen on")
-		memKB   = flag.Int("mem", 500, "shared sketch memory in KB")
-		d       = flag.Int("d", core.DefaultArrays, "shared number of arrays")
-		seed    = flag.Uint64("seed", 1, "shared sketch seed")
-		keys    = flag.String("keys", "SrcIP", "comma-separated partial keys to report")
-		top     = flag.Int("top", 5, "rows per partial key")
-		every   = flag.Duration("every", 5*time.Second, "reporting interval")
-		oneshot = flag.Bool("oneshot", false, "print one report after the first epoch completes, then exit")
-		telAddr = flag.String("telemetry", "", "serve /debug/vars and /debug/pprof on this address (off when empty)")
+		listen  = fs.String("listen", "127.0.0.1:7700", "address to listen on")
+		memKB   = fs.Int("mem", 500, "shared sketch memory in KB")
+		d       = fs.Int("d", core.DefaultArrays, "shared number of arrays")
+		seed    = fs.Uint64("seed", 1, "shared sketch seed")
+		keys    = fs.String("keys", "SrcIP", "comma-separated partial keys to report")
+		top     = fs.Int("top", 5, "rows per partial key")
+		every   = fs.Duration("every", 5*time.Second, "reporting interval")
+		oneshot = fs.Bool("oneshot", false, "print one report after the first epoch completes, then exit")
+		telAddr = fs.String("telemetry", "", "serve /debug/vars and /debug/pprof on this address (off when empty)")
+		idleTO  = fs.Duration("idle-timeout", 0, "drop an agent connection after this much silence, freeing its handler (0 = never)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	reg := telemetry.Disabled
 	if *telAddr != "" {
 		reg = telemetry.New()
 		addr, err := telemetry.Serve(*telAddr, reg)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "cococollector: telemetry: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "cococollector: telemetry: %v\n", err)
+			return 1
 		}
-		fmt.Printf("telemetry: listening on %s\n", addr)
+		fmt.Fprintf(stdout, "telemetry: listening on %s\n", addr)
 	}
 
 	var masks []flowkey.Mask
 	for _, expr := range strings.Split(*keys, ",") {
 		m, err := flowkey.ParseMask(expr)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "cococollector: %v\n", err)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "cococollector: %v\n", err)
+			return 2
 		}
 		masks = append(masks, m)
 	}
 
 	cfg := core.ConfigForMemory[flowkey.FiveTuple](*d, *memKB*1024, *seed)
-	collector := netwide.NewCollector(cfg).SetTelemetry(reg)
+	collector := netwide.NewCollector(cfg).SetTelemetry(reg).SetIdleTimeout(*idleTO)
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "cococollector: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "cococollector: %v\n", err)
+		return 1
 	}
-	fmt.Printf("collecting on %s (mem %dKB, d=%d, seed %d)\n", l.Addr(), *memKB, *d, *seed)
+	defer l.Close()
+	fmt.Fprintf(stdout, "collecting on %s (mem %dKB, d=%d, seed %d)\n", l.Addr(), *memKB, *d, *seed)
 	go func() {
 		if err := collector.Serve(l); err != nil {
-			fmt.Fprintf(os.Stderr, "cococollector: serve: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "cococollector: serve: %v\n", err)
 		}
 	}()
 
@@ -86,12 +102,12 @@ func main() {
 		if !ok {
 			continue
 		}
-		fmt.Printf("\n=== epoch %d (%d agents) ===\n", epoch, collector.AgentsReported(epoch))
+		fmt.Fprintf(stdout, "\n=== epoch %d (%d agents) ===\n", epoch, collector.AgentsReported(epoch))
 		for _, m := range masks {
-			fmt.Print(query.FormatRows(m, engine.Top(m, *top), *top))
+			fmt.Fprint(stdout, query.FormatRows(m, engine.Top(m, *top), *top))
 		}
 		if *oneshot {
-			return
+			return 0
 		}
 		epoch++
 	}

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"bytes"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cocosketch/internal/core"
+	"cocosketch/internal/flowkey"
+	"cocosketch/internal/netwide"
+)
+
+// syncBuffer is a mutex-guarded buffer so the test can poll run()'s
+// output while run is still writing it from another goroutine.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// waitFor polls the buffer until the substring shows up (or the test
+// times out after five seconds).
+func waitFor(t *testing.T, buf *syncBuffer, substr string) string {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if out := buf.String(); strings.Contains(out, substr) {
+			return out
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("output never contained %q:\n%s", substr, buf.String())
+	return ""
+}
+
+func TestRunBadFlagExitsUsage(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-definitely-not-a-flag"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("run = %d, want 2\nstderr: %s", code, stderr.String())
+	}
+}
+
+func TestRunBadKeysExitsUsage(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-keys", "NotAHeaderField"}, &stdout, &stderr)
+	if code != 2 {
+		t.Fatalf("run = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "NotAHeaderField") {
+		t.Fatalf("stderr does not name the bad key:\n%s", stderr.String())
+	}
+}
+
+func TestRunBadListenAddrFails(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-listen", "256.0.0.1:notaport"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("run = %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "cococollector:") {
+		t.Fatalf("stderr missing failure detail:\n%s", stderr.String())
+	}
+}
+
+// TestRunOneshotEndToEnd boots the collector via run() on an ephemeral
+// port, reports one epoch from an in-process agent, and checks run
+// exits 0 after printing the epoch summary.
+func TestRunOneshotEndToEnd(t *testing.T) {
+	stdout := &syncBuffer{}
+	stderr := &syncBuffer{}
+	done := make(chan int, 1)
+	go func() {
+		done <- run([]string{
+			"-listen", "127.0.0.1:0",
+			"-mem", "64", "-d", "2", "-seed", "5",
+			"-keys", "SrcIP,DstPort",
+			"-every", "20ms", "-oneshot",
+			"-idle-timeout", "1m",
+		}, stdout, stderr)
+	}()
+
+	out := waitFor(t, stdout, "collecting on ")
+	line := out[strings.Index(out, "collecting on ")+len("collecting on "):]
+	addr := strings.Fields(line)[0]
+
+	cfg := core.ConfigForMemory[flowkey.FiveTuple](2, 64*1024, 5)
+	agent := netwide.NewAgent(1, cfg)
+	for i := 0; i < 5000; i++ {
+		agent.Observe(flowkey.FiveTuple{SrcPort: uint16(i % 64), Proto: 6}, 1)
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := agent.Report(conn); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("run = %d\nstderr: %s", code, stderr.String())
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("oneshot run never exited")
+	}
+	if out := stdout.String(); !strings.Contains(out, "=== epoch 0 (1 agents) ===") {
+		t.Fatalf("no epoch summary in output:\n%s", out)
+	}
+}

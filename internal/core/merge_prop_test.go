@@ -1,0 +1,111 @@
+package core
+
+import (
+	"testing"
+
+	"cocosketch/internal/flowkey"
+	"cocosketch/internal/xrand"
+)
+
+// Merge is commutative and associative at the value level: counters add
+// bucket-by-bucket, so any merge order yields identical per-bucket
+// values and totals. The surviving keys are NOT bit-comparable across
+// orders — the conflict winner is an RNG draw — but each must be a key
+// one of the operands held in that bucket. These are exactly the
+// guarantees the collector relies on when agent shards arrive in
+// arbitrary order, so they are pinned as properties over random
+// snapshots rather than hand-picked cases.
+
+// cloneSketch copies src via the consume-no-randomness merge-into-empty
+// path, so property trials can reuse one snapshot in several orders.
+func cloneSketch(t *testing.T, cfg Config, src *Basic[flowkey.FiveTuple]) *Basic[flowkey.FiveTuple] {
+	t.Helper()
+	c := NewBasic[flowkey.FiveTuple](cfg)
+	if err := c.Merge(src); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// mergeAll folds the operands left to right into a fresh sketch.
+func mergeAll(t *testing.T, cfg Config, ops ...*Basic[flowkey.FiveTuple]) *Basic[flowkey.FiveTuple] {
+	t.Helper()
+	out := NewBasic[flowkey.FiveTuple](cfg)
+	for _, op := range ops {
+		if err := out.Merge(op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out
+}
+
+// randomSnapshot builds one shard-like sketch with its own insertion
+// RNG stream and a key universe that overlaps the other operands'.
+func randomSnapshot(cfg Config, rng *xrand.Source, n int) *Basic[flowkey.FiveTuple] {
+	s := NewBasic[flowkey.FiveTuple](cfg)
+	s.Reseed(rng.Uint64())
+	fillDisjoint(s, rng, uint32(rng.Uint64n(300)), 400, n)
+	return s
+}
+
+// checkSameValues asserts two merge results agree on every bucket's
+// counter and that each surviving key is legitimate: held by one of the
+// operands in that same bucket.
+func checkSameValues(t *testing.T, label string, got, want *Basic[flowkey.FiveTuple], ops []*Basic[flowkey.FiveTuple]) {
+	t.Helper()
+	for i := range got.buckets {
+		if got.buckets[i].Val != want.buckets[i].Val {
+			t.Fatalf("%s: bucket %d value %d vs %d", label, i, got.buckets[i].Val, want.buckets[i].Val)
+		}
+		if got.buckets[i].Val == 0 {
+			continue
+		}
+		legit := false
+		for _, op := range ops {
+			if op.buckets[i].Val > 0 && op.buckets[i].Key == got.buckets[i].Key {
+				legit = true
+				break
+			}
+		}
+		if !legit {
+			t.Fatalf("%s: bucket %d key %v held by no operand", label, i, got.buckets[i].Key)
+		}
+	}
+}
+
+// TestMergeCommutativeAssociativeValues drives A+B vs B+A and
+// (A+B)+C vs A+(B+C) over random overlapping snapshots.
+func TestMergeCommutativeAssociativeValues(t *testing.T) {
+	cfg := Config{Arrays: 2, BucketsPerArray: 32, Seed: 9}
+	for trial := 0; trial < 12; trial++ {
+		rng := xrand.New(uint64(trial)*0x9e37 + 1)
+		a := randomSnapshot(cfg, rng, 800+trial*100)
+		b := randomSnapshot(cfg, rng, 600+trial*50)
+		c := randomSnapshot(cfg, rng, 400+trial*75)
+		ops := []*Basic[flowkey.FiveTuple]{a, b, c}
+
+		ab := mergeAll(t, cfg, a, b)
+		ba := mergeAll(t, cfg, b, a)
+		checkSameValues(t, "A+B vs B+A", ab, ba, ops[:2])
+		if ab.SumValues() != a.SumValues()+b.SumValues() {
+			t.Fatalf("trial %d: A+B total %d != %d+%d",
+				trial, ab.SumValues(), a.SumValues(), b.SumValues())
+		}
+
+		// (A+B)+C reuses ab; A+(B+C) needs B+C first, then folds it
+		// into a clone of A so the operands stay pristine.
+		abc := cloneSketch(t, cfg, ab)
+		if err := abc.Merge(c); err != nil {
+			t.Fatal(err)
+		}
+		bc := mergeAll(t, cfg, b, c)
+		acb := cloneSketch(t, cfg, a)
+		if err := acb.Merge(bc); err != nil {
+			t.Fatal(err)
+		}
+		checkSameValues(t, "(A+B)+C vs A+(B+C)", abc, acb, ops)
+		if abc.SumValues() != a.SumValues()+b.SumValues()+c.SumValues() {
+			t.Fatalf("trial %d: triple total %d", trial, abc.SumValues())
+		}
+	}
+}

@@ -1,0 +1,256 @@
+// Package faultnet is a deterministic, seeded, simulated network for
+// chaos-testing the network-wide plane (internal/netwide). It
+// implements net.Conn and net.Listener over an in-process virtual
+// clock and injects configurable faults — latency, jitter, bandwidth
+// caps, chunk drops, partial writes, connection resets, reordering and
+// full partitions — from per-link SplitMix64 streams derived from a
+// single seed, so every scenario is reproducible: same seed, same
+// fault schedule, same transcript. No wall-clock sleeps anywhere; a
+// year of simulated backoff costs microseconds of test time.
+//
+// # Virtual time
+//
+// The network owns a virtual clock. Blocking operations (Read with no
+// deliverable data, Accept with no pending dial, Clock.Sleep) park the
+// calling goroutine; when every registered actor is parked, the clock
+// jumps to the earliest instant at which any parked actor can make
+// progress (a chunk's delivery time, a deadline, a sleep expiry) and
+// everyone re-checks. For this quiescence detection to work, every
+// goroutine that touches the network MUST be spawned through
+// (*Network).Go — including the collector's per-connection handlers
+// (see netwide.Collector.SetSpawn). Goroutines outside Go may still
+// call into the network (e.g. a test's main goroutine closing a
+// listener), but they must not block on it while registered actors are
+// running.
+//
+// # Determinism
+//
+// Fault decisions are drawn from per-link RNG streams keyed by
+// (network seed, connection id, direction) and indexed by the link's
+// own write-operation counter, so they do not depend on goroutine
+// scheduling. The global clock only advances at quiescence points,
+// so every Now observed between two quiescence points is identical.
+// With a single sequential driver (the chaos suite's default) the
+// whole event transcript is reproducible bit-for-bit.
+package faultnet
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"cocosketch/internal/xrand"
+)
+
+// Base is the fixed virtual epoch: every Network starts at this
+// instant, so absolute deadlines computed from Now are deterministic.
+var Base = time.Date(2030, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// Faults configures the injected failure modes. The zero value is a
+// perfect network: zero latency, infinite bandwidth, no loss. All
+// probabilities are in [0, 1] and are drawn once per write from the
+// link's seeded stream.
+type Faults struct {
+	// Latency is the fixed one-way delivery delay per chunk.
+	Latency time.Duration
+	// Jitter adds a uniform [0, Jitter) extra delay per chunk.
+	Jitter time.Duration
+	// BandwidthBPS caps the link at this many bytes per (virtual)
+	// second; chunks serialize behind each other like a real NIC.
+	// Zero means infinite.
+	BandwidthBPS int64
+	// DropProb silently discards a written chunk (packet loss with no
+	// retransmit — the write "succeeds" into the void).
+	DropProb float64
+	// ReorderProb delays a chunk by an extra ReorderDelay so later
+	// chunks can overtake it. On a byte stream this models lower-layer
+	// corruption (bytes arriving out of order with no reassembly): the
+	// peer's protocol parser is expected to fail cleanly.
+	ReorderProb float64
+	// ReorderDelay is the overtaking window for reordered chunks.
+	ReorderDelay time.Duration
+	// PartialProb truncates a write: a strict prefix is delivered and
+	// Write returns n < len(b) with an error, as io.Writer demands.
+	PartialProb float64
+	// ResetProb resets the connection on a write: both ends observe a
+	// connection-reset error from then on, pending data is discarded.
+	ResetProb float64
+}
+
+// Network is one simulated network: a virtual clock, a set of named
+// listeners, and the fault configuration applied to every link. Safe
+// for concurrent use by its registered actors.
+type Network struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	cfg    Faults
+	seed   uint64
+	now    time.Duration // virtual time since Base
+	actors int           // live goroutines registered via Go
+	wg     sync.WaitGroup
+
+	waiters     map[*waiter]struct{}
+	listeners   map[string]*Listener
+	nextConnID  int
+	partitioned bool
+	transcript  []string
+}
+
+// waiter is one parked goroutine. ready reports whether it can make
+// progress right now; wake computes the earliest virtual instant at
+// which it could become ready (false = only an external event can
+// unblock it). Both are closures evaluated fresh under the network
+// lock — never cached values — so quiescence-driven clock advances see
+// current state regardless of which goroutine runs them, and a waiter
+// that is ready but not yet scheduled is never jumped over.
+type waiter struct {
+	ready func() bool
+	wake  func() (time.Duration, bool)
+}
+
+// New creates a network with the given fault configuration and seed.
+func New(seed uint64, cfg Faults) *Network {
+	n := &Network{
+		cfg:       cfg,
+		seed:      seed,
+		waiters:   make(map[*waiter]struct{}),
+		listeners: make(map[string]*Listener),
+	}
+	n.cond = sync.NewCond(&n.mu)
+	return n
+}
+
+// Go runs fn as a registered actor. The virtual clock can only advance
+// while every registered actor is parked inside a network call, so all
+// goroutines driving traffic must be started through Go.
+func (n *Network) Go(fn func()) {
+	n.mu.Lock()
+	n.actors++
+	n.mu.Unlock()
+	n.wg.Add(1)
+	go func() {
+		defer func() {
+			n.mu.Lock()
+			n.actors--
+			n.cond.Broadcast()
+			n.mu.Unlock()
+			n.wg.Done()
+		}()
+		fn()
+	}()
+}
+
+// Wait blocks until every actor started with Go has returned.
+func (n *Network) Wait() { n.wg.Wait() }
+
+// Now returns the current virtual time (Base plus elapsed simulation
+// time). Implements the netwide.Clock contract together with Sleep.
+func (n *Network) Now() time.Time {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return Base.Add(n.now)
+}
+
+// Sleep parks the caller for d of virtual time. It returns immediately
+// for non-positive d.
+func (n *Network) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	target := n.now + d
+	n.park(func() bool { return n.now >= target },
+		func() (time.Duration, bool) { return target, true })
+}
+
+// park blocks the caller until ready() is true. wake() reports the
+// earliest virtual instant at which the caller could become ready, or
+// false if only an external event can unblock it. Must be called with
+// n.mu held; ready and wake are evaluated under the lock.
+func (n *Network) park(ready func() bool, wake func() (time.Duration, bool)) {
+	w := &waiter{ready: ready, wake: wake}
+	n.waiters[w] = struct{}{}
+	defer func() {
+		delete(n.waiters, w)
+		n.cond.Broadcast()
+	}()
+	for !ready() {
+		if len(n.waiters) >= n.actors && !n.anyWaiterReady() {
+			// Quiescent: every registered actor is parked AND none of
+			// them can progress at the current instant (a parked-but-
+			// ready waiter may simply not have been scheduled yet, and
+			// advancing over it would let virtual time depend on
+			// goroutine scheduling). Jump the clock to the earliest
+			// wake-up among all waiters. If no waiter has a wake-up at
+			// all, only an external call (Close, a partition heal) can
+			// make progress — fall through to a plain wait.
+			if t, ok := n.earliestWake(); ok && t > n.now {
+				n.now = t
+				n.cond.Broadcast()
+				continue
+			}
+		}
+		n.cond.Wait()
+	}
+}
+
+// anyWaiterReady reports whether some parked waiter can already make
+// progress at the current virtual time and merely awaits scheduling.
+func (n *Network) anyWaiterReady() bool {
+	for w := range n.waiters {
+		if w.ready() {
+			return true
+		}
+	}
+	return false
+}
+
+// earliestWake returns the minimum wake instant over all parked
+// waiters that have one, computed fresh from each waiter's closure.
+func (n *Network) earliestWake() (time.Duration, bool) {
+	var best time.Duration
+	found := false
+	for w := range n.waiters {
+		if t, ok := w.wake(); ok && (!found || t < best) {
+			best, found = t, true
+		}
+	}
+	return best, found
+}
+
+// SetPartitioned opens (true) or heals (false) a full network
+// partition: while partitioned, every chunk written on any link is
+// silently discarded and new dials are refused.
+func (n *Network) SetPartitioned(on bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.partitioned = on
+	n.log("network partition=%v", on)
+	n.cond.Broadcast()
+}
+
+// Transcript returns a copy of the event log: one line per write
+// decision, connection lifecycle event and partition toggle, in the
+// order they occurred. With a sequential driver the transcript is a
+// pure function of (seed, Faults, workload).
+func (n *Network) Transcript() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, len(n.transcript))
+	copy(out, n.transcript)
+	return out
+}
+
+// log appends one formatted transcript line. Caller holds n.mu.
+func (n *Network) log(format string, args ...any) {
+	n.transcript = append(n.transcript, fmt.Sprintf(format, args...))
+}
+
+// linkSeed derives the per-link RNG seed from the network seed, the
+// connection id and the direction (0 = client→server, 1 = reverse).
+func (n *Network) linkSeed(connID, dir int) uint64 {
+	x := xrand.New(n.seed ^ (uint64(connID)<<1 | uint64(dir)) ^ 0xc0c0_5ce7_c4a0_5000)
+	return x.Uint64()
+}

@@ -3,17 +3,58 @@ package netwide
 import (
 	"fmt"
 	"net"
+	"time"
 
 	"cocosketch/internal/core"
 	"cocosketch/internal/flowkey"
 	"cocosketch/internal/telemetry"
 )
 
+// DefaultSpoolLimit bounds the agent-side snapshot spool: at most this
+// many undelivered epoch sketches are held before the overflow policy
+// (coalesce or drop-oldest) kicks in.
+const DefaultSpoolLimit = 8
+
+// SpoolPolicy selects what a full spool does with one more epoch.
+type SpoolPolicy int
+
+const (
+	// SpoolCoalesce merges the two newest spool entries with
+	// core.Merge: memory stays bounded, no observation is lost, and
+	// estimates over the union stay unbiased — the epochs just coarsen
+	// (the merged report spans an epoch range). The head of the spool
+	// is never coalesced when the limit is at least 2, because a head
+	// entry may already have been received by the collector with its
+	// acknowledgement lost, and re-sending it unmodified is what makes
+	// the retry idempotent.
+	SpoolCoalesce SpoolPolicy = iota
+	// SpoolDropOldest sheds the oldest spool entry, counting its
+	// weight in "netwide.dropped_weight" — bounded loss, exact
+	// accounting.
+	SpoolDropOldest
+)
+
+// spoolEntry is one undelivered report: the sealed sketch and the
+// contiguous epoch range it covers ([lo, hi], both inclusive; lo == hi
+// until coalescing widens it).
+type spoolEntry struct {
+	lo, hi uint32
+	sketch *core.Basic[flowkey.FiveTuple]
+	weight uint64
+}
+
 // Agent is one vantage point: it measures local traffic into a basic
 // CocoSketch and reports per epoch. Agents at different vantage points
 // MUST share the same Config (geometry and seed) so the collector can
 // merge their sketches; flows seen at multiple vantage points are
 // counted once per observation, as in link-level measurement.
+//
+// Reporting is hardened for a collector that is slow, restarting or
+// partitioned away: every report exchange runs under a write deadline
+// (SetWriteTimeout), retries redial with capped jittered backoff
+// (Backoff), and epochs the collector never acknowledged are sealed
+// into a bounded spool (EndEpoch) that coalesces instead of blocking
+// the ingest path — see DESIGN.md §12 for the full fault model.
 //
 // Agent is not safe for concurrent use (one dataplane thread per
 // agent, as elsewhere in this repository).
@@ -25,54 +66,128 @@ type Agent struct {
 	tel    agentTel
 	// sketchTel is re-installed on each epoch's fresh sketch.
 	sketchTel *telemetry.SketchMetrics
+
+	clock        Clock
+	writeTimeout time.Duration
+	backoff      *Backoff
+	spool        []spoolEntry
+	spoolLimit   int
+	spoolPolicy  SpoolPolicy
 }
 
 // agentTel groups the agent-side counters (all nil-safe; nil without
 // SetTelemetry).
 type agentTel struct {
-	// observed counts packets measured into the current epoch (one
-	// per Observe, the batch length for ObserveBatch, and the absorbed
-	// sketch's total weight for Absorb).
+	// observed accumulates the total weight measured into epochs (one
+	// per unit-weight packet, w for Observe(k, w), the absorbed
+	// sketch's weight for Absorb).
 	observed *telemetry.Counter
-	// reportsSent counts successfully acknowledged epoch reports;
-	// reportBytes their serialized payload bytes.
-	reportsSent *telemetry.Counter
-	reportBytes *telemetry.Counter
+	// reportsSent counts successfully acknowledged reports;
+	// reportBytes their serialized payload bytes; deliveredWeight the
+	// sketch weight those reports carried.
+	reportsSent     *telemetry.Counter
+	reportBytes     *telemetry.Counter
+	deliveredWeight *telemetry.Counter
 	// absorbs counts external sketches merged in (sharded ingest).
 	absorbs *telemetry.Counter
-	// reconnects counts redials performed by ReportWithRedial.
+	// reconnects counts redials performed by the *WithRedial methods.
 	reconnects *telemetry.Counter
+	// spooledEpochs counts epochs sealed into the spool; spoolCoalesced
+	// counts overflow merges; droppedWeight/droppedEpochs what the
+	// drop-oldest policy shed. spoolDepth/spoolWeight gauge the spool.
+	spooledEpochs  *telemetry.Counter
+	spoolCoalesced *telemetry.Counter
+	droppedWeight  *telemetry.Counter
+	droppedEpochs  *telemetry.Counter
+	spoolDepth     *telemetry.Gauge
+	spoolWeight    *telemetry.Gauge
 }
 
 // SetTelemetry registers the agent's counters ("netwide."-prefixed)
 // plus a sketch outcome group ("core."-prefixed) on r; a nil registry
 // disables telemetry. Returns the agent for chaining.
+//
+// The counters form an exact conservation ledger, checked by the chaos
+// suite: after EndEpoch (current sketch empty),
+//
+//	observed = delivered_weight + spool_weight + dropped_weight
+//
+// holds with equality — every observed unit of weight is either
+// acknowledged by the collector, still spooled, or deliberately shed.
 func (a *Agent) SetTelemetry(r *telemetry.Registry) *Agent {
 	a.tel = agentTel{
-		observed:    r.Counter("netwide.observed"),
-		reportsSent: r.Counter("netwide.reports_sent"),
-		reportBytes: r.Counter("netwide.report_bytes"),
-		absorbs:     r.Counter("netwide.absorbs"),
-		reconnects:  r.Counter("netwide.reconnects"),
+		observed:        r.Counter("netwide.observed"),
+		reportsSent:     r.Counter("netwide.reports_sent"),
+		reportBytes:     r.Counter("netwide.report_bytes"),
+		deliveredWeight: r.Counter("netwide.delivered_weight"),
+		absorbs:         r.Counter("netwide.absorbs"),
+		reconnects:      r.Counter("netwide.reconnects"),
+		spooledEpochs:   r.Counter("netwide.spooled_epochs"),
+		spoolCoalesced:  r.Counter("netwide.spool_coalesced"),
+		droppedWeight:   r.Counter("netwide.dropped_weight"),
+		droppedEpochs:   r.Counter("netwide.dropped_epochs"),
+		spoolDepth:      r.Gauge("netwide.spool_depth"),
+		spoolWeight:     r.Gauge("netwide.spool_weight"),
 	}
 	a.sketchTel = telemetry.NewSketchMetrics(r, "core")
 	a.sketch.SetTelemetry(a.sketchTel)
 	return a
 }
 
-// NewAgent creates an agent with the shared sketch configuration.
+// NewAgent creates an agent with the shared sketch configuration, the
+// system clock, the default backoff policy (seeded from the shared
+// seed and the agent id, so co-failing agents jitter apart), no write
+// timeout, and a DefaultSpoolLimit-entry coalescing spool.
 func NewAgent(id uint16, cfg core.Config) *Agent {
 	return &Agent{
-		id:     id,
-		cfg:    cfg,
-		sketch: core.NewBasic[flowkey.FiveTuple](cfg),
+		id:         id,
+		cfg:        cfg,
+		sketch:     core.NewBasic[flowkey.FiveTuple](cfg),
+		clock:      SystemClock,
+		backoff:    NewBackoff(DefaultBackoffBase, DefaultBackoffMax, cfg.Seed^(uint64(id)+1)*0x9e3779b97f4a7c15),
+		spoolLimit: DefaultSpoolLimit,
 	}
 }
 
-// Observe records one packet.
+// SetClock replaces the agent's time source (deadlines and backoff
+// sleeps); the chaos suite installs faultnet's virtual clock here.
+// Returns the agent for chaining.
+func (a *Agent) SetClock(c Clock) *Agent {
+	a.clock = c
+	return a
+}
+
+// SetWriteTimeout bounds each report exchange (serialize, write, await
+// ack): the connection deadline is armed writeTimeout from Now before
+// every report and cleared after. Zero disables deadlines (the
+// pre-hardening behavior: a stalled collector blocks the agent
+// forever). Returns the agent for chaining.
+func (a *Agent) SetWriteTimeout(d time.Duration) *Agent {
+	a.writeTimeout = d
+	return a
+}
+
+// SetBackoff replaces the redial backoff policy. Returns the agent for
+// chaining.
+func (a *Agent) SetBackoff(b *Backoff) *Agent {
+	a.backoff = b
+	return a
+}
+
+// SetSpool bounds the undelivered-epoch spool at limit entries with
+// the given overflow policy. A limit of at least 2 is recommended with
+// SpoolCoalesce so the possibly-transmitted head entry is never
+// rewritten (see SpoolPolicy). Returns the agent for chaining.
+func (a *Agent) SetSpool(limit int, policy SpoolPolicy) *Agent {
+	a.spoolLimit = limit
+	a.spoolPolicy = policy
+	return a
+}
+
+// Observe records one packet of weight w.
 func (a *Agent) Observe(key flowkey.FiveTuple, w uint64) {
 	a.sketch.Insert(key, w)
-	a.tel.observed.Inc()
+	a.tel.observed.Add(w)
 }
 
 // ObserveBatch records a burst of unit-weight packets through the
@@ -99,15 +214,108 @@ func (a *Agent) Absorb(s *core.Basic[flowkey.FiveTuple]) error {
 // Epoch returns the current epoch number.
 func (a *Agent) Epoch() uint32 { return a.epoch }
 
-// Report ships the current epoch's sketch to the collector over conn,
-// waits for the acknowledgement, and resets local state for the next
-// epoch.
-func (a *Agent) Report(conn net.Conn) error {
-	blob, err := a.sketch.MarshalBinary()
-	if err != nil {
-		return err
+// PendingEpochs returns how many undelivered reports sit in the spool.
+func (a *Agent) PendingEpochs() int { return len(a.spool) }
+
+// PendingWeight returns the total sketch weight waiting in the spool.
+func (a *Agent) PendingWeight() uint64 {
+	var w uint64
+	for i := range a.spool {
+		w += a.spool[i].weight
 	}
-	msg := Message{Type: MsgSketch, Epoch: a.epoch, AgentID: a.id, Payload: blob}
+	return w
+}
+
+// EndEpoch seals the current epoch's sketch into the spool and opens a
+// fresh epoch. It never touches the network and never blocks, so the
+// ingest path stays live while the collector is unreachable; call
+// Flush (or FlushWithRedial) to attempt delivery. Overflow beyond the
+// spool limit is resolved by the configured SpoolPolicy.
+func (a *Agent) EndEpoch() {
+	e := spoolEntry{lo: a.epoch, hi: a.epoch, sketch: a.sketch, weight: a.sketch.SumValues()}
+	a.epoch++
+	a.sketch = core.NewBasic[flowkey.FiveTuple](a.cfg).SetTelemetry(a.sketchTel)
+	a.spool = append(a.spool, e)
+	a.tel.spooledEpochs.Inc()
+	if a.spoolLimit > 0 && len(a.spool) > a.spoolLimit {
+		a.shedOverflow()
+	}
+	a.updateSpoolTel()
+}
+
+// shedOverflow brings the spool back to its limit per the policy.
+func (a *Agent) shedOverflow() {
+	switch a.spoolPolicy {
+	case SpoolDropOldest:
+		head := a.spool[0]
+		a.spool = append(a.spool[:0], a.spool[1:]...)
+		a.tel.droppedWeight.Add(head.weight)
+		a.tel.droppedEpochs.Add(uint64(head.hi-head.lo) + 1)
+	default: // SpoolCoalesce
+		i, j := len(a.spool)-2, len(a.spool)-1
+		if err := a.spool[i].sketch.Merge(a.spool[j].sketch); err != nil {
+			// Same Config on both sides makes this unreachable; shed
+			// the newer entry rather than corrupt the older if it
+			// ever happens.
+			a.tel.droppedWeight.Add(a.spool[j].weight)
+			a.tel.droppedEpochs.Add(uint64(a.spool[j].hi-a.spool[j].lo) + 1)
+			a.spool = a.spool[:j]
+			return
+		}
+		a.spool[i].hi = a.spool[j].hi
+		a.spool[i].weight += a.spool[j].weight
+		a.spool = a.spool[:j]
+		a.tel.spoolCoalesced.Inc()
+	}
+}
+
+// updateSpoolTel refreshes the spool gauges.
+func (a *Agent) updateSpoolTel() {
+	a.tel.spoolDepth.Set(int64(len(a.spool)))
+	a.tel.spoolWeight.Set(int64(a.PendingWeight()))
+}
+
+// Flush delivers spooled reports oldest-first over conn, stopping at
+// the first transport error (delivered entries are retired either
+// way). Each exchange runs under the agent's write timeout. A nil
+// return means the spool is empty.
+func (a *Agent) Flush(conn net.Conn) error {
+	for len(a.spool) > 0 {
+		e := &a.spool[0]
+		blob, err := e.sketch.MarshalBinary()
+		if err != nil {
+			return err
+		}
+		if err := a.exchange(conn, Message{Type: MsgSketch, Epoch: e.hi, AgentID: a.id, Payload: blob}); err != nil {
+			return err
+		}
+		a.tel.reportsSent.Inc()
+		a.tel.reportBytes.Add(uint64(len(blob)))
+		a.tel.deliveredWeight.Add(e.weight)
+		a.spool = append(a.spool[:0], a.spool[1:]...)
+		a.updateSpoolTel()
+	}
+	return nil
+}
+
+// FlushWithRedial is Flush with the shared redial policy: on a
+// transport error it closes the connection, sleeps the backoff delay,
+// redials and resumes flushing, up to attempts redials. It returns the
+// connection to use next (the last successfully dialed one) and the
+// last error once attempts are exhausted.
+func (a *Agent) FlushWithRedial(conn net.Conn, dial func() (net.Conn, error), attempts int) (net.Conn, error) {
+	return a.withRedial(conn, dial, attempts, a.Flush)
+}
+
+// exchange runs one report round trip under the write timeout: write
+// the message, await and validate the acknowledgement.
+func (a *Agent) exchange(conn net.Conn, msg Message) error {
+	if a.writeTimeout > 0 {
+		if err := conn.SetDeadline(a.clock.Now().Add(a.writeTimeout)); err != nil {
+			return fmt.Errorf("netwide: arming report deadline: %w", err)
+		}
+		defer conn.SetDeadline(time.Time{})
+	}
 	if err := WriteMessage(conn, msg); err != nil {
 		return err
 	}
@@ -115,38 +323,68 @@ func (a *Agent) Report(conn net.Conn) error {
 	if err != nil {
 		return err
 	}
-	if ack.Type != MsgAck || ack.Epoch != a.epoch {
+	if ack.Type != MsgAck || ack.Epoch != msg.Epoch {
 		return fmt.Errorf("netwide: unexpected ack (type %d, epoch %d)", ack.Type, ack.Epoch)
+	}
+	return nil
+}
+
+// Report ships the current epoch's sketch to the collector over conn,
+// waits for the acknowledgement, and resets local state for the next
+// epoch. The spool is not involved: a failed Report leaves the epoch
+// open for a direct retry (ReportWithRedial), which is the simple
+// fail-fast mode of cmd/cocoagent without -spool.
+func (a *Agent) Report(conn net.Conn) error {
+	blob, err := a.sketch.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	w := a.sketch.SumValues()
+	if err := a.exchange(conn, Message{Type: MsgSketch, Epoch: a.epoch, AgentID: a.id, Payload: blob}); err != nil {
+		return err
 	}
 	a.epoch++
 	a.sketch = core.NewBasic[flowkey.FiveTuple](a.cfg).SetTelemetry(a.sketchTel)
 	a.tel.reportsSent.Inc()
 	a.tel.reportBytes.Add(uint64(len(blob)))
+	a.tel.deliveredWeight.Add(w)
 	return nil
 }
 
 // ReportWithRedial ships the epoch like Report, but on a transport
-// error it closes the connection, redials with dial and retries —
-// reconnect accounting for long-running agents whose collector
-// restarts between epochs. Each redial is counted in the
+// error it closes the connection, sleeps the shared backoff delay
+// (capped exponential with seeded jitter — see Backoff), redials and
+// retries, up to attempts redials; failed dials consume an attempt and
+// keep retrying, so a collector restart longer than one backoff step
+// is survived. Each successful redial is counted in the
 // "netwide.reconnects" telemetry counter. It returns the connection to
-// use for the next epoch (the original on success, the last redialed
-// one otherwise) and the first error once attempts are exhausted.
+// use for the next epoch and the last error once attempts are
+// exhausted.
 //
 // The epoch sketch is only reset after a successful acknowledgement,
 // so a retried report re-sends the same epoch; the collector's
 // duplicate detection makes that idempotent.
 func (a *Agent) ReportWithRedial(conn net.Conn, dial func() (net.Conn, error), attempts int) (net.Conn, error) {
-	err := a.Report(conn)
+	return a.withRedial(conn, dial, attempts, a.Report)
+}
+
+// withRedial runs op over conn, and on failure loops close → backoff
+// sleep → redial → retry until op succeeds or attempts redials are
+// spent. The returned conn is the live connection when err is nil and
+// the last (closed or dead) one otherwise.
+func (a *Agent) withRedial(conn net.Conn, dial func() (net.Conn, error), attempts int, op func(net.Conn) error) (net.Conn, error) {
+	err := op(conn)
 	for try := 0; err != nil && try < attempts; try++ {
 		conn.Close()
+		a.clock.Sleep(a.backoff.Delay(try))
 		next, derr := dial()
 		if derr != nil {
-			return conn, fmt.Errorf("netwide: redial after %q: %w", err, derr)
+			err = fmt.Errorf("netwide: redial after %q: %w", err, derr)
+			continue
 		}
 		conn = next
 		a.tel.reconnects.Inc()
-		err = a.Report(conn)
+		err = op(conn)
 	}
 	return conn, err
 }

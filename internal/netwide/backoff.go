@@ -1,0 +1,81 @@
+package netwide
+
+import (
+	"math"
+	"time"
+
+	"cocosketch/internal/xrand"
+)
+
+// Clock abstracts wall time so the whole netwide plane can run on
+// faultnet's virtual clock in the chaos suite. SystemClock is the
+// production implementation.
+type Clock interface {
+	// Now returns the current time (used for absolute I/O deadlines).
+	Now() time.Time
+	// Sleep blocks for d (used for retry backoff).
+	Sleep(d time.Duration)
+}
+
+// systemClock is the real-time Clock.
+type systemClock struct{}
+
+// Now returns time.Now.
+func (systemClock) Now() time.Time { return time.Now() }
+
+// Sleep calls time.Sleep.
+func (systemClock) Sleep(d time.Duration) { time.Sleep(d) }
+
+// SystemClock is the wall-clock Clock every agent and collector uses
+// unless SetClock overrides it.
+var SystemClock Clock = systemClock{}
+
+// Backoff is the shared retry policy of the netwide plane: capped
+// exponential delays with half jitter, drawn from a seeded xrand
+// stream so a retry schedule is reproducible from its seed. Attempt i
+// (0-based) waits
+//
+//	u ~ uniform[1/2, 1) · min(Max, Base·Factor^i)
+//
+// The half-jitter form keeps a floor under the delay (unlike full
+// jitter) while still desynchronizing agents that fail together — the
+// thundering-herd concern when a collector restarts under load.
+//
+// Not safe for concurrent use; each agent owns one.
+type Backoff struct {
+	// Base is the uncapped delay of attempt 0.
+	Base time.Duration
+	// Factor is the per-attempt growth (2 for the default policy).
+	Factor float64
+	// Max caps the uncapped delay (the jittered result is below Max).
+	Max time.Duration
+	rng *xrand.Source
+}
+
+// Default backoff policy: 50ms doubling to a 2s cap. At the default
+// redial budget this keeps a transient collector outage invisible and
+// a real one bounded to a few seconds of blocking per epoch, after
+// which the agent spools and moves on (see Agent.EndEpoch).
+const (
+	// DefaultBackoffBase is the attempt-0 delay of the default policy.
+	DefaultBackoffBase = 50 * time.Millisecond
+	// DefaultBackoffMax caps the default policy's per-attempt delay.
+	DefaultBackoffMax = 2 * time.Second
+)
+
+// NewBackoff returns a policy with the given base, cap and jitter
+// seed, growing delays by a factor of 2.
+func NewBackoff(base, max time.Duration, seed uint64) *Backoff {
+	return &Backoff{Base: base, Factor: 2, Max: max, rng: xrand.New(seed)}
+}
+
+// Delay returns the jittered delay before retry attempt (0-based).
+// Each call consumes one draw from the jitter stream, so a fixed seed
+// pins the whole schedule.
+func (b *Backoff) Delay(attempt int) time.Duration {
+	d := float64(b.Base) * math.Pow(b.Factor, float64(attempt))
+	if cap := float64(b.Max); d > cap {
+		d = cap
+	}
+	return time.Duration(d/2 + b.rng.Float64()*d/2)
+}

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"cocosketch/internal/core"
 	"cocosketch/internal/flowkey"
@@ -16,13 +17,40 @@ import (
 // Collector receives per-epoch sketches from agents, merges them into
 // one network-wide CocoSketch per epoch, and answers partial-key
 // queries. Safe for concurrent use.
+//
+// The collector degrades gracefully rather than stalling: per-agent
+// handlers run under an idle read deadline (SetIdleTimeout) so a
+// half-open connection cannot leak a goroutine, per-agent liveness is
+// tracked (AgentStatuses), and when a queried epoch has not arrived —
+// agents partitioned away, reports spooled — the freshest available
+// epoch is served instead with the staleness made explicit
+// (EpochOrLatest, "netwide.stale_serves").
 type Collector struct {
 	cfg core.Config
 	tel collectorTel
 
-	mu       sync.Mutex
-	epochs   map[uint32]*core.Basic[flowkey.FiveTuple]
-	reported map[uint32]map[uint16]bool
+	clock       Clock
+	idleTimeout time.Duration
+	spawn       func(func())
+
+	mu         sync.Mutex
+	epochs     map[uint32]*core.Basic[flowkey.FiveTuple]
+	reported   map[uint32]map[uint16]bool
+	agents     map[uint16]AgentStatus
+	latest     uint32
+	haveLatest bool
+}
+
+// AgentStatus is the liveness view of one agent.
+type AgentStatus struct {
+	// LastEpoch is the highest epoch this agent has reported.
+	LastEpoch uint32
+	// LastSeen is the collector-clock time of the agent's last report
+	// (duplicates count: a duplicate proves the agent is alive).
+	LastSeen time.Time
+	// Reports counts reports received from the agent, duplicates
+	// included.
+	Reports uint64
 }
 
 // collectorTel groups the collector-side instruments (all nil-safe;
@@ -36,9 +64,15 @@ type collectorTel struct {
 	// mergeErrors counts reports rejected by an incompatible merge.
 	mergeErrors *telemetry.Counter
 	// conns tracks live agent connections; epochsTracked the epochs
-	// held in memory.
+	// held in memory; agentsSeen the distinct agents ever heard from;
+	// latestEpoch the freshest epoch with data.
 	conns         *telemetry.Gauge
 	epochsTracked *telemetry.Gauge
+	agentsSeen    *telemetry.Gauge
+	latestEpoch   *telemetry.Gauge
+	// staleServes counts queries answered with an older epoch than
+	// requested (EpochOrLatest fallback).
+	staleServes *telemetry.Counter
 }
 
 // SetTelemetry registers the collector's counters ("netwide."-
@@ -52,23 +86,56 @@ func (c *Collector) SetTelemetry(r *telemetry.Registry) *Collector {
 		mergeErrors:   r.Counter("netwide.merge_errors"),
 		conns:         r.Gauge("netwide.agent_conns"),
 		epochsTracked: r.Gauge("netwide.epochs_tracked"),
+		agentsSeen:    r.Gauge("netwide.agents_seen"),
+		latestEpoch:   r.Gauge("netwide.latest_epoch"),
+		staleServes:   r.Counter("netwide.stale_serves"),
 	}
 	return c
 }
 
+// SetClock replaces the collector's time source (idle deadlines,
+// liveness timestamps); the chaos suite installs faultnet's virtual
+// clock here. Returns the collector for chaining.
+func (c *Collector) SetClock(clk Clock) *Collector {
+	c.clock = clk
+	return c
+}
+
+// SetIdleTimeout arms a read deadline of d before every message read
+// in Handle, so a half-open or silent connection times out and
+// releases its goroutine instead of leaking. Zero disables it (reads
+// may then block forever). Returns the collector for chaining.
+func (c *Collector) SetIdleTimeout(d time.Duration) *Collector {
+	c.idleTimeout = d
+	return c
+}
+
+// SetSpawn replaces the goroutine spawner Serve uses for per-agent
+// handlers (default: the go statement). faultnet-based tests register
+// handlers as simulation actors here (see faultnet.Network.Go).
+// Returns the collector for chaining.
+func (c *Collector) SetSpawn(spawn func(func())) *Collector {
+	c.spawn = spawn
+	return c
+}
+
 // NewCollector creates a collector expecting sketches of the given
-// shared configuration.
+// shared configuration, on the system clock, with no idle timeout.
 func NewCollector(cfg core.Config) *Collector {
 	return &Collector{
 		cfg:      cfg,
+		clock:    SystemClock,
+		spawn:    func(fn func()) { go fn() },
 		epochs:   make(map[uint32]*core.Basic[flowkey.FiveTuple]),
 		reported: make(map[uint32]map[uint16]bool),
+		agents:   make(map[uint16]AgentStatus),
 	}
 }
 
 // Serve accepts agent connections until the listener closes. Each
-// connection is handled on its own goroutine; errors on individual
-// connections are dropped (the agent retries next epoch).
+// connection is handled on its own goroutine (via the configured
+// spawner); errors on individual connections are dropped (the agent
+// retries next epoch).
 func (c *Collector) Serve(l net.Listener) error {
 	for {
 		conn, err := l.Accept()
@@ -79,17 +146,26 @@ func (c *Collector) Serve(l net.Listener) error {
 			return err
 		}
 		c.tel.conns.Add(1)
-		go func() {
+		c.spawn(func() {
 			defer c.tel.conns.Add(-1)
 			defer conn.Close()
 			_ = c.Handle(conn)
-		}()
+		})
 	}
 }
 
-// Handle processes one agent connection until EOF.
+// Handle processes one agent connection until EOF, an error, or — with
+// an idle timeout configured — until the agent goes silent for longer
+// than the timeout. A failing SetReadDeadline (reset or half-closed
+// connection) terminates the handler too: ignoring it would leave the
+// goroutine blocked on a read that can never complete.
 func (c *Collector) Handle(conn net.Conn) error {
 	for {
+		if c.idleTimeout > 0 {
+			if err := conn.SetReadDeadline(c.clock.Now().Add(c.idleTimeout)); err != nil {
+				return fmt.Errorf("netwide: arming idle deadline: %w", err)
+			}
+		}
 		msg, err := ReadMessage(conn)
 		if err != nil {
 			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
@@ -117,6 +193,14 @@ func (c *Collector) ingest(msg Message) error {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	st := c.agents[msg.AgentID]
+	st.Reports++
+	st.LastSeen = c.clock.Now()
+	if msg.Epoch > st.LastEpoch {
+		st.LastEpoch = msg.Epoch
+	}
+	c.agents[msg.AgentID] = st
+	c.tel.agentsSeen.Set(int64(len(c.agents)))
 	if agents, ok := c.reported[msg.Epoch]; ok && agents[msg.AgentID] {
 		// Duplicate report (agent retry after lost ack): ignore.
 		c.tel.dupReports.Inc()
@@ -129,6 +213,10 @@ func (c *Collector) ingest(msg Message) error {
 	} else if err := agg.Merge(shard); err != nil {
 		c.tel.mergeErrors.Inc()
 		return fmt.Errorf("netwide: agent %d epoch %d: %w", msg.AgentID, msg.Epoch, err)
+	}
+	if !c.haveLatest || msg.Epoch > c.latest {
+		c.latest, c.haveLatest = msg.Epoch, true
+		c.tel.latestEpoch.Set(int64(msg.Epoch))
 	}
 	if c.reported[msg.Epoch] == nil {
 		c.reported[msg.Epoch] = make(map[uint16]bool)
@@ -147,6 +235,25 @@ func (c *Collector) AgentsReported(epoch uint32) int {
 	return len(c.reported[epoch])
 }
 
+// AgentStatuses returns a copy of the per-agent liveness table.
+func (c *Collector) AgentStatuses() map[uint16]AgentStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[uint16]AgentStatus, len(c.agents))
+	for id, st := range c.agents {
+		out[id] = st
+	}
+	return out
+}
+
+// LatestEpoch returns the freshest epoch any agent has reported (false
+// before the first report).
+func (c *Collector) LatestEpoch() (uint32, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.latest, c.haveLatest
+}
+
 // Epoch returns a query engine over the merged network-wide table of
 // one epoch (false if no agent reported it yet).
 func (c *Collector) Epoch(epoch uint32) (*query.Engine, bool) {
@@ -157,4 +264,27 @@ func (c *Collector) Epoch(epoch uint32) (*query.Engine, bool) {
 		return nil, false
 	}
 	return query.NewEngine(agg.Decode()), true
+}
+
+// EpochOrLatest returns a query engine for the requested epoch, or —
+// when that epoch has no data yet because the reporting path is
+// degraded — for the freshest epoch that does, so dashboards keep
+// serving during a partition instead of going blank. The returned
+// epoch is the one actually served; a stale serve (served < requested)
+// is counted in "netwide.stale_serves". ok is false only when no epoch
+// at all has data.
+func (c *Collector) EpochOrLatest(epoch uint32) (eng *query.Engine, served uint32, ok bool) {
+	c.mu.Lock()
+	agg, exact := c.epochs[epoch]
+	served = epoch
+	if !exact && c.haveLatest {
+		agg, exact = c.epochs[c.latest], true
+		served = c.latest
+		c.tel.staleServes.Inc()
+	}
+	c.mu.Unlock()
+	if agg == nil || !exact {
+		return nil, 0, false
+	}
+	return query.NewEngine(agg.Decode()), served, true
 }
