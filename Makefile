@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race chaos bench bench-insert bench-ring bench-smoke fuzz fmt docs clean cover verify-stats
+.PHONY: build test race chaos bench bench-insert bench-ring bench-smoke bench-alloc fuzz fmt docs clean cover verify-stats
 
 build:
 	$(GO) build ./...
@@ -15,7 +15,7 @@ test:
 # then the seeded chaos suite (deterministic fault injection exercises
 # the agent/collector concurrency paths hardest).
 race:
-	$(GO) test -race -shuffle=on ./internal/ovs/... ./internal/core/... ./internal/netwide/... ./internal/shard/... ./internal/telemetry/...
+	$(GO) test -race -shuffle=on ./internal/ovs/... ./internal/core/... ./internal/netwide/... ./internal/shard/... ./internal/telemetry/... ./internal/packet/... ./internal/pcap/...
 	$(MAKE) chaos
 
 # Seeded chaos simulation: the faultnet scenarios (latency, drops,
@@ -49,6 +49,17 @@ bench-ring:
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkInsertBatch/' -count 6 -benchtime 1s . \
 		| $(GO) run ./internal/tools/benchsmoke -max 1.05
+
+# Zero-allocation ingest gates (DESIGN.md §13): every AllocsPerRun test
+# on the replay→decode→InsertBatch path must report zero, and the
+# 4-queue pooled replay must beat the 1-queue run by the speedup floor.
+# The speedup is a physical-core fact, so benchsmoke -need-cpus skips
+# the ratio gate (tests still run) on hosts below 4 CPUs.
+bench-alloc:
+	$(GO) test -run 'NoAllocs|TestBuildSingleAllocation' -count=1 -v \
+		./internal/packet/ ./internal/pcap/ ./internal/flowkey/ ./internal/core/ ./internal/shard/
+	$(GO) test -run '^$$' -bench 'BenchmarkReplayQueues/' -count 4 -benchtime 5x ./internal/shard/ \
+		| $(GO) run ./internal/tools/benchsmoke -off queues-1 -on queues-4 -max 0 -min 1.8 -need-cpus 4
 
 bench: bench-insert bench-ring bench-smoke
 

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"testing"
+
+	"cocosketch/internal/flowkey"
+)
+
+// allocGateKeys builds a reusable key batch for the steady-state
+// allocation gates.
+func allocGateKeys(n int) ([]flowkey.FiveTuple, []uint64) {
+	keys := make([]flowkey.FiveTuple, n)
+	ws := make([]uint64, n)
+	for i := range keys {
+		keys[i] = flowkey.FiveTuple{
+			SrcIP:   [4]byte{10, byte(i >> 8), byte(i), 1},
+			DstIP:   [4]byte{10, 0, 0, 2},
+			SrcPort: uint16(i), DstPort: 443, Proto: 6,
+		}
+		ws[i] = uint64(i%1500 + 40)
+	}
+	return keys, ws
+}
+
+// TestInsertBatchNoAllocs pins the batched insert hot path — the sink
+// of the zero-allocation ingest pipeline — at zero heap allocations per
+// burst in steady state, for both weighted and unit-weight forms and
+// both sketch variants.
+func TestInsertBatchNoAllocs(t *testing.T) {
+	cfg := Config{Arrays: 2, BucketsPerArray: 1024, Seed: 5}
+	keys, ws := allocGateKeys(256)
+
+	basic := NewBasic[flowkey.FiveTuple](cfg)
+	basic.InsertBatch(keys, ws) // warm the scratch buffers
+	if n := testing.AllocsPerRun(100, func() { basic.InsertBatch(keys, ws) }); n != 0 {
+		t.Errorf("Basic.InsertBatch allocates %.1f times per burst, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { basic.InsertBatchUnit(keys) }); n != 0 {
+		t.Errorf("Basic.InsertBatchUnit allocates %.1f times per burst, want 0", n)
+	}
+
+	hw := NewHardware[flowkey.FiveTuple](cfg)
+	hw.InsertBatch(keys, ws)
+	if n := testing.AllocsPerRun(100, func() { hw.InsertBatch(keys, ws) }); n != 0 {
+		t.Errorf("Hardware.InsertBatch allocates %.1f times per burst, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { hw.InsertBatchUnit(keys) }); n != 0 {
+		t.Errorf("Hardware.InsertBatchUnit allocates %.1f times per burst, want 0", n)
+	}
+}

@@ -16,7 +16,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig15a", "fig15b", "fig15c", "fig15d", "fig16", "fig17",
 		"fig18a", "fig18b", "table2",
 		"ext-entropy", "ext-distinct", "headline", "ext-hhh-granularity",
-		"ext-scaling",
+		"ext-scaling", "ext-zeroalloc",
 	}
 	ids := IDs()
 	got := make(map[string]bool, len(ids))
@@ -189,6 +189,26 @@ func TestExtScalingShape(t *testing.T) {
 	// Scaling with workers requires physical cores, so the shape test
 	// only pins that every worker count completes losslessly (the
 	// runner errors on lost packets) and reports positive throughput.
+}
+
+func TestExtZeroAllocShape(t *testing.T) {
+	res := runID(t, "ext-zeroalloc")
+	if len(res.Rows) < 2 {
+		t.Fatalf("want legacy and pooled rows, got %d", len(res.Rows))
+	}
+	if res.Rows[0][0] != "legacy decode+ingest" || res.Rows[1][0] != "pooled" {
+		t.Errorf("unexpected row order: %v, %v", res.Rows[0], res.Rows[1])
+	}
+	for _, row := range res.Rows {
+		mpps, err := strconv.ParseFloat(row[2], 64)
+		if err != nil || mpps <= 0 {
+			t.Errorf("path=%s queues=%s: bad Mpps %q", row[0], row[1], row[2])
+		}
+	}
+	// The runner itself verifies bit-identical decode tables across all
+	// paths and errors on any divergence, so the shape test only pins
+	// that every row completes with positive throughput (the speedup
+	// needs physical cores and GOGC pressure to show on this host).
 }
 
 func TestFig15bShape(t *testing.T) {

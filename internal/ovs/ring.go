@@ -11,9 +11,11 @@ import (
 	"cocosketch/internal/trace"
 )
 
-// Ring is a single-producer single-consumer lock-free ring buffer of
-// packet records, mirroring the DPDK rings between the OVS datapath
-// and the measurement process.
+// RingOf is a single-producer single-consumer lock-free ring buffer,
+// mirroring the DPDK rings between the OVS datapath and the
+// measurement process. The element type is anything small enough to
+// copy by value: trace.Packet records on the decoded path, pooled
+// frame references (packet.FrameRef) on the zero-allocation path.
 //
 // Each side keeps a private snapshot of the opposite index (headCache
 // for the producer, tailCache for the consumer) and refreshes it only
@@ -21,8 +23,8 @@ import (
 // DPDK cached-index optimization that cuts cross-core cache-line
 // traffic from one load per operation to roughly one per ring
 // traversal.
-type Ring struct {
-	buf  []trace.Packet
+type RingOf[T any] struct {
+	buf  []T
 	mask uint64
 	_    [40]byte // keep producer and consumer state on separate cache lines
 	// Producer cache line: the write index plus the producer's
@@ -38,22 +40,31 @@ type Ring struct {
 	closed    atomic.Bool
 }
 
-// NewRing returns a ring with capacity rounded up to a power of two
-// (minimum 2).
-func NewRing(capacity int) *Ring {
+// Ring is the packet-record ring of the decoded ingest path (the
+// original element type of this package; see RingOf for the generic
+// form).
+type Ring = RingOf[trace.Packet]
+
+// NewRing returns a packet-record ring with capacity rounded up to a
+// power of two (minimum 2).
+func NewRing(capacity int) *Ring { return NewRingOf[trace.Packet](capacity) }
+
+// NewRingOf returns a ring of T with capacity rounded up to a power of
+// two (minimum 2).
+func NewRingOf[T any](capacity int) *RingOf[T] {
 	n := 2
 	for n < capacity {
 		n <<= 1
 	}
-	return &Ring{buf: make([]trace.Packet, n), mask: uint64(n - 1)}
+	return &RingOf[T]{buf: make([]T, n), mask: uint64(n - 1)}
 }
 
 // Capacity returns the usable slot count.
-func (r *Ring) Capacity() int { return len(r.buf) }
+func (r *RingOf[T]) Capacity() int { return len(r.buf) }
 
-// TryPush appends one packet; it fails when the ring is full. Only one
-// goroutine may push.
-func (r *Ring) TryPush(p trace.Packet) bool {
+// TryPush appends one element; it fails when the ring is full. Only
+// one goroutine may push.
+func (r *RingOf[T]) TryPush(p T) bool {
 	tail := r.tail.Load()
 	if tail-r.headCache >= uint64(len(r.buf)) {
 		r.headCache = r.head.Load()
@@ -69,7 +80,7 @@ func (r *Ring) TryPush(p trace.Packet) bool {
 // TryPushN appends as many of ps as fit and returns the count (0 when
 // the ring is full). Slots are claimed with one index publication for
 // the whole burst. Only one goroutine may push.
-func (r *Ring) TryPushN(ps []trace.Packet) int {
+func (r *RingOf[T]) TryPushN(ps []T) int {
 	tail := r.tail.Load()
 	free := uint64(len(r.buf)) - (tail - r.headCache)
 	if free < uint64(len(ps)) {
@@ -89,9 +100,9 @@ func (r *Ring) TryPushN(ps []trace.Packet) int {
 	return n
 }
 
-// TryPop removes one packet; it fails when the ring is empty. Only one
-// goroutine may pop.
-func (r *Ring) TryPop(out *trace.Packet) bool {
+// TryPop removes one element; it fails when the ring is empty. Only
+// one goroutine may pop.
+func (r *RingOf[T]) TryPop(out *T) bool {
 	head := r.head.Load()
 	if head == r.tailCache {
 		r.tailCache = r.tail.Load()
@@ -104,9 +115,9 @@ func (r *Ring) TryPop(out *trace.Packet) bool {
 	return true
 }
 
-// TryPopN removes up to len(out) packets and returns the count (0 when
-// the ring is empty). Only one goroutine may pop.
-func (r *Ring) TryPopN(out []trace.Packet) int {
+// TryPopN removes up to len(out) elements and returns the count (0
+// when the ring is empty). Only one goroutine may pop.
+func (r *RingOf[T]) TryPopN(out []T) int {
 	head := r.head.Load()
 	avail := r.tailCache - head
 	if avail < uint64(len(out)) {
@@ -127,11 +138,11 @@ func (r *Ring) TryPopN(out []trace.Packet) int {
 }
 
 // Close marks the producer side done; consumers drain and stop.
-func (r *Ring) Close() { r.closed.Store(true) }
+func (r *RingOf[T]) Close() { r.closed.Store(true) }
 
 // Closed reports whether the producer finished. A consumer should stop
 // only when Closed and a subsequent TryPop fails.
-func (r *Ring) Closed() bool { return r.closed.Load() }
+func (r *RingOf[T]) Closed() bool { return r.closed.Load() }
 
-// Len reports the queued packet count (approximate under concurrency).
-func (r *Ring) Len() int { return int(r.tail.Load() - r.head.Load()) }
+// Len reports the queued element count (approximate under concurrency).
+func (r *RingOf[T]) Len() int { return int(r.tail.Load() - r.head.Load()) }

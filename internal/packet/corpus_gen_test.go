@@ -1,0 +1,44 @@
+package packet
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"cocosketch/internal/flowkey"
+)
+
+// TestRegenFuzzCorpus rewrites the on-disk seed corpus under
+// testdata/fuzz/FuzzDecoder from the same adversarial frame builders
+// FuzzDecoder seeds with inline. It is a generator, not a check: it
+// only runs when REGEN_FUZZ_CORPUS=1 is set, so the committed corpus
+// stays stable unless regenerated deliberately.
+func TestRegenFuzzCorpus(t *testing.T) {
+	if os.Getenv("REGEN_FUZZ_CORPUS") != "1" {
+		t.Skip("set REGEN_FUZZ_CORPUS=1 to rewrite testdata/fuzz/FuzzDecoder")
+	}
+	tcp := flowkey.FiveTuple{
+		SrcIP: [4]byte{1, 2, 3, 4}, DstIP: [4]byte{5, 6, 7, 8},
+		SrcPort: 80, DstPort: 443, Proto: ProtoTCP,
+	}
+	ihlLier := Build(tcp, BuildOptions{})
+	ihlLier[14] = 0x4F
+	corpus := map[string][]byte{
+		"truncated-vlan":  Build(tcp, BuildOptions{VLANID: 9})[:16],
+		"ipv4-options":    ipv4OptionsFrame(tcp),
+		"ihl-past-end":    ihlLier,
+		"fragment-offset": fragmentFrame(tcp),
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzDecoder")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for name, frame := range corpus {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.Quote(string(frame)))
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package packet
+
+import "sync/atomic"
+
+// Pool is a preallocated multi-buffer frame pool, the go-flows-style
+// backing store of the zero-allocation ingest pipeline: all slot
+// memory is one contiguous allocation made at construction, and the
+// steady-state Reserve/Recycle cycle never touches the heap. A pcap
+// reader reserves a slot, fills its bytes in place, and hands the slot
+// index (as a FrameRef) to a worker over an SPSC ring; the worker
+// decodes the key straight out of the slot and recycles it. The full
+// ownership protocol — who may write a slot in each state, and why the
+// freelist is ABA-safe — is documented in DESIGN.md §13.
+//
+// Reserve and Recycle are lock-free and safe from any number of
+// goroutines (the freelist is a bounded MPMC ring with per-cell
+// sequence numbers, Vyukov's design), though the intended use is one
+// reserving reader and one recycling worker per pool.
+type Pool struct {
+	slotCap int
+	mem     []byte // slots × slotCap, one allocation
+	cells   []poolCell
+	mask    uint64
+	_       [48]byte // separate the enqueue and dequeue indices
+	enq     atomic.Uint64
+	_       [56]byte
+	deq     atomic.Uint64
+}
+
+// poolCell is one freelist entry: the slot index it currently carries
+// plus the sequence number that encodes whether the cell is full or
+// empty for the ring lap in progress (the ABA guard: a stale CAS
+// winner cannot mistake a recycled cell for the one it claimed,
+// because the sequence has moved on).
+type poolCell struct {
+	seq  atomic.Uint64
+	slot uint32
+}
+
+// Slot names one fixed-capacity frame buffer inside a Pool.
+type Slot = uint32
+
+// NewPool returns a pool of slots fixed-capacity buffers of slotCap
+// bytes each, with every slot initially free. The freelist capacity is
+// rounded up to a power of two internally; slot count and capacity are
+// exact.
+func NewPool(slots, slotCap int) *Pool {
+	if slots <= 0 || slotCap <= 0 {
+		panic("packet: pool slots and slotCap must be positive")
+	}
+	n := 1
+	for n < slots {
+		n <<= 1
+	}
+	p := &Pool{
+		slotCap: slotCap,
+		mem:     make([]byte, slots*slotCap),
+		cells:   make([]poolCell, n),
+		mask:    uint64(n - 1),
+	}
+	for i := range p.cells {
+		p.cells[i].seq.Store(uint64(i))
+	}
+	for s := 0; s < slots; s++ {
+		if !p.push(Slot(s)) {
+			panic("packet: pool freelist smaller than slot count")
+		}
+	}
+	return p
+}
+
+// Slots returns the number of slots in the pool.
+func (p *Pool) Slots() int { return len(p.mem) / p.slotCap }
+
+// SlotCap returns the byte capacity of each slot.
+func (p *Pool) SlotCap() int { return p.slotCap }
+
+// Bytes returns slot s's full-capacity buffer. Only the slot's current
+// owner (per the DESIGN.md §13 protocol) may read or write it.
+func (p *Pool) Bytes(s Slot) []byte {
+	off := int(s) * p.slotCap
+	return p.mem[off : off+p.slotCap : off+p.slotCap]
+}
+
+// Reserve takes a free slot off the freelist. It fails (ok == false)
+// when every slot is in flight — pool starvation, the backpressure
+// signal: the caller should yield and retry rather than allocate.
+func (p *Pool) Reserve() (s Slot, ok bool) { return p.pop() }
+
+// Recycle returns a slot to the freelist once its frame has been fully
+// consumed. Recycling a slot that is already free eventually panics
+// (the freelist overflows), turning double-recycle bugs into a loud
+// failure instead of silent frame corruption.
+func (p *Pool) Recycle(s Slot) {
+	if !p.push(s) {
+		panic("packet: pool recycle overflow (double recycle?)")
+	}
+}
+
+// InFlight reports how many slots are currently reserved (approximate
+// under concurrency; exact when the pipeline is quiescent).
+func (p *Pool) InFlight() int {
+	free := int(p.enq.Load() - p.deq.Load())
+	return p.Slots() - free
+}
+
+// push enqueues a free slot (Vyukov MPMC enqueue).
+func (p *Pool) push(s Slot) bool {
+	pos := p.enq.Load()
+	for {
+		cell := &p.cells[pos&p.mask]
+		seq := cell.seq.Load()
+		switch {
+		case seq == pos:
+			if p.enq.CompareAndSwap(pos, pos+1) {
+				cell.slot = s
+				cell.seq.Store(pos + 1)
+				return true
+			}
+			pos = p.enq.Load()
+		case seq < pos:
+			return false // cell still holds last lap's value: ring full
+		default:
+			pos = p.enq.Load()
+		}
+	}
+}
+
+// pop dequeues a free slot (Vyukov MPMC dequeue).
+func (p *Pool) pop() (Slot, bool) {
+	pos := p.deq.Load()
+	for {
+		cell := &p.cells[pos&p.mask]
+		seq := cell.seq.Load()
+		switch {
+		case seq == pos+1:
+			if p.deq.CompareAndSwap(pos, pos+1) {
+				s := cell.slot
+				cell.seq.Store(pos + p.mask + 1)
+				return s, true
+			}
+			pos = p.deq.Load()
+		case seq <= pos:
+			return 0, false // cell not yet filled this lap: ring empty
+		default:
+			pos = p.deq.Load()
+		}
+	}
+}
+
+// FrameRef is the shallow handle to one pooled frame that moves
+// between a queue reader and its worker over an SPSC ring
+// (ovs.RingOf[FrameRef]): the slot index, the number of bytes the
+// reader stored in the slot, and the packet's original wire length
+// (which can exceed Len when the capture or the slot truncated it).
+// Passing 12-byte references instead of frames keeps the ring handoff
+// free of copies and the ring slots allocation-free.
+type FrameRef struct {
+	Slot Slot
+	Len  uint32
+	Orig uint32
+}

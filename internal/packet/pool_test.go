@@ -1,0 +1,136 @@
+package packet
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestPoolReserveRecycleCycle(t *testing.T) {
+	p := NewPool(8, 64)
+	if p.Slots() != 8 || p.SlotCap() != 64 {
+		t.Fatalf("geometry: %d slots cap %d", p.Slots(), p.SlotCap())
+	}
+	seen := make(map[Slot]bool)
+	var got []Slot
+	for i := 0; i < 8; i++ {
+		s, ok := p.Reserve()
+		if !ok {
+			t.Fatalf("reserve %d failed with free slots", i)
+		}
+		if seen[s] {
+			t.Fatalf("slot %d handed out twice", s)
+		}
+		seen[s] = true
+		got = append(got, s)
+	}
+	if _, ok := p.Reserve(); ok {
+		t.Fatal("reserve succeeded on exhausted pool")
+	}
+	if p.InFlight() != 8 {
+		t.Fatalf("InFlight = %d, want 8", p.InFlight())
+	}
+	for _, s := range got {
+		p.Recycle(s)
+	}
+	if p.InFlight() != 0 {
+		t.Fatalf("InFlight after recycle = %d, want 0", p.InFlight())
+	}
+	if _, ok := p.Reserve(); !ok {
+		t.Fatal("reserve failed after full recycle")
+	}
+}
+
+func TestPoolSlotsAreDisjoint(t *testing.T) {
+	p := NewPool(4, 16)
+	for s := Slot(0); s < 4; s++ {
+		b := p.Bytes(s)
+		if len(b) != 16 || cap(b) != 16 {
+			t.Fatalf("slot %d: len %d cap %d, want 16/16", s, len(b), cap(b))
+		}
+		for i := range b {
+			b[i] = byte(s + 1)
+		}
+	}
+	for s := Slot(0); s < 4; s++ {
+		for i, v := range p.Bytes(s) {
+			if v != byte(s+1) {
+				t.Fatalf("slot %d byte %d = %#x: neighbouring slot wrote through", s, i, v)
+			}
+		}
+	}
+}
+
+func TestPoolDoubleRecyclePanics(t *testing.T) {
+	p := NewPool(4, 8)
+	s, _ := p.Reserve()
+	p.Recycle(s)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double recycle did not panic")
+		}
+	}()
+	p.Recycle(s)
+}
+
+// TestPoolConcurrentChurn hammers Reserve/Recycle from a reserving and
+// a recycling goroutine connected by a channel — the reader/worker
+// shape of the replay pipeline — and checks conservation: every slot
+// index stays in [0, slots) and the pool is whole at the end. Run
+// under -race via the race Makefile target.
+func TestPoolConcurrentChurn(t *testing.T) {
+	const slots, rounds = 16, 20000
+	p := NewPool(slots, 8)
+	ch := make(chan Slot, slots)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		n := 0
+		for n < rounds {
+			s, ok := p.Reserve()
+			if !ok {
+				continue
+			}
+			if int(s) >= slots {
+				t.Errorf("slot %d out of range", s)
+				close(ch)
+				return
+			}
+			p.Bytes(s)[0] = byte(s) // owner write; -race flags overlap
+			ch <- s
+			n++
+		}
+		close(ch)
+	}()
+	go func() {
+		defer wg.Done()
+		for s := range ch {
+			if p.Bytes(s)[0] != byte(s) {
+				t.Errorf("slot %d carried wrong byte", s)
+			}
+			p.Recycle(s)
+		}
+	}()
+	wg.Wait()
+	if p.InFlight() != 0 {
+		t.Fatalf("InFlight after churn = %d, want 0", p.InFlight())
+	}
+	for i := 0; i < slots; i++ {
+		if _, ok := p.Reserve(); !ok {
+			t.Fatalf("pool lost slot %d during churn", i)
+		}
+	}
+}
+
+func TestPoolReserveRecycleNoAllocs(t *testing.T) {
+	p := NewPool(8, 64)
+	if n := testing.AllocsPerRun(1000, func() {
+		s, ok := p.Reserve()
+		if !ok {
+			t.Fatal("reserve failed")
+		}
+		p.Recycle(s)
+	}); n != 0 {
+		t.Fatalf("Reserve+Recycle allocates %.1f times per run, want 0", n)
+	}
+}

@@ -51,6 +51,7 @@ type Reader struct {
 	linkType uint32
 	snapLen  uint32
 	buf      []byte
+	rec      [16]byte // record-header scratch; a local would escape through io.ReadFull
 }
 
 // NewReader parses the global header and returns a reader positioned at
@@ -127,6 +128,53 @@ func (r *Reader) Next() (Header, []byte, error) {
 		CaptureLength:  int(capLen),
 		OriginalLength: int(origLen),
 	}, data, nil
+}
+
+// ReadInto reads the next record body into dst — the zero-allocation
+// form of Next used by the pooled replay pipeline, where dst is a
+// frame-pool slot filled in place. A record longer than dst is
+// truncated to len(dst) (NIC snapshot-length semantics) and the
+// remainder is discarded without allocating; the returned Header keeps
+// the record's full CaptureLength so callers can count truncations.
+// The returned n is the number of bytes stored in dst. io.EOF signals
+// a clean end of file.
+func (r *Reader) ReadInto(dst []byte) (Header, int, error) {
+	if _, err := io.ReadFull(r.r, r.rec[:]); err != nil {
+		if err == io.EOF {
+			return Header{}, 0, io.EOF
+		}
+		return Header{}, 0, fmt.Errorf("pcap: reading record header: %w", err)
+	}
+	sec := r.order.Uint32(r.rec[0:4])
+	frac := r.order.Uint32(r.rec[4:8])
+	capLen := r.order.Uint32(r.rec[8:12])
+	origLen := r.order.Uint32(r.rec[12:16])
+	if capLen > MaxSnapLen {
+		return Header{}, 0, fmt.Errorf("pcap: capture length %d exceeds limit", capLen)
+	}
+	n := int(capLen)
+	if n > len(dst) {
+		n = len(dst)
+	}
+	if _, err := io.ReadFull(r.r, dst[:n]); err != nil {
+		return Header{}, 0, fmt.Errorf("pcap: reading record body: %w", err)
+	}
+	if rest := int(capLen) - n; rest > 0 {
+		if _, err := r.r.Discard(rest); err != nil {
+			return Header{}, 0, fmt.Errorf("pcap: discarding truncated record body: %w", err)
+		}
+	}
+	ts := time.Unix(int64(sec), 0)
+	if r.nanos {
+		ts = ts.Add(time.Duration(frac) * time.Nanosecond)
+	} else {
+		ts = ts.Add(time.Duration(frac) * time.Microsecond)
+	}
+	return Header{
+		Timestamp:      ts,
+		CaptureLength:  int(capLen),
+		OriginalLength: int(origLen),
+	}, n, nil
 }
 
 // Writer encodes a pcap stream (little endian, microsecond timestamps).

@@ -178,9 +178,7 @@ type Engine[S Sketch[S]] struct {
 	wg        sync.WaitGroup
 
 	// Dispatcher-side state (single goroutine; see package contract).
-	rssSeed []uint32 // one-element slice for the HashSeeds fast path
-	hashOut []uint32
-	burst   [][]trace.Packet
+	burst [][]trace.Packet
 	// dispatched/dropped are written by the dispatcher only but read
 	// by Stats from any goroutine, hence atomic.
 	dispatched atomic.Uint64
@@ -220,8 +218,6 @@ func New[S Sketch[S]](cfg Config, newSketch func(i int) S) *Engine[S] {
 	e := &Engine[S]{
 		cfg:       cfg,
 		newSketch: newSketch,
-		rssSeed:   []uint32{uint32(cfg.Seed) ^ 0x5bd1e995},
-		hashOut:   make([]uint32, 1),
 		burst:     make([][]trace.Packet, cfg.Workers),
 		tel:       newEngineTel(cfg.Telemetry),
 	}
@@ -246,6 +242,24 @@ func New[S Sketch[S]](cfg Config, newSketch func(i int) S) *Engine[S] {
 // zero so worker 0 keeps the sequential RNG sequence.
 func rngSalt(i int) uint64 { return uint64(i) * 0x9e3779b97f4a7c15 }
 
+// NewBasicFactory returns the per-worker sketch constructor that
+// NewBasic and ReplayPCAPBasic share: worker 0 keeps the sequential
+// sketch state, workers > 0 get decorrelated replacement RNGs, and all
+// workers flush update outcomes into one shared "core."-prefixed
+// telemetry group (no-op on a nil registry). Exported so external
+// replay drivers (experiments, benchmarks) can build sketch sets that
+// merge bit-identically with an engine's.
+func NewBasicFactory(sketchCfg core.Config, reg *telemetry.Registry) func(i int) *core.Basic[flowkey.FiveTuple] {
+	m := telemetry.NewSketchMetrics(reg, "core")
+	return func(i int) *core.Basic[flowkey.FiveTuple] {
+		s := core.NewBasic[flowkey.FiveTuple](sketchCfg)
+		if i > 0 {
+			s.Reseed(sketchCfg.Seed ^ rngSalt(i))
+		}
+		return s.SetTelemetry(m)
+	}
+}
+
 // NewBasic builds an engine of basic (software, §4.1) CocoSketch
 // workers sharing sketchCfg. Sharing one core.Config keeps the workers
 // merge-compatible; each worker i > 0 gets its replacement RNG
@@ -253,14 +267,7 @@ func rngSalt(i int) uint64 { return uint64(i) * 0x9e3779b97f4a7c15 }
 // Config.Telemetry set, all worker sketches flush their update
 // outcomes into one shared "core."-prefixed counter group.
 func NewBasic(cfg Config, sketchCfg core.Config) *Engine[*core.Basic[flowkey.FiveTuple]] {
-	m := telemetry.NewSketchMetrics(cfg.Telemetry, "core")
-	return New(cfg, func(i int) *core.Basic[flowkey.FiveTuple] {
-		s := core.NewBasic[flowkey.FiveTuple](sketchCfg)
-		if i > 0 {
-			s.Reseed(sketchCfg.Seed ^ rngSalt(i))
-		}
-		return s.SetTelemetry(m)
-	})
+	return New(cfg, NewBasicFactory(sketchCfg, cfg.Telemetry))
 }
 
 // NewHardware builds an engine of hardware-friendly (§4.2) CocoSketch
@@ -326,15 +333,12 @@ func (e *Engine[S]) runWorker(w *worker[S]) {
 	}
 }
 
-// workerFor maps a key to its worker by RSS hash (multiply-shift range
-// reduction, like bucket indexing in core). The single-seed HashSeeds
-// call keeps the dispatcher on the encode-once hand-inlined hash path.
+// workerFor maps a key to its worker with the canonical RSS split
+// (flowkey.RSSIndex) — the same function the simulated multi-queue
+// pcap replay partitions traces with, so a pre-partitioned queue i
+// holds exactly the packets this dispatcher would route to worker i.
 func (e *Engine[S]) workerFor(key flowkey.FiveTuple) int {
-	if e.cfg.Workers == 1 {
-		return 0
-	}
-	key.HashSeeds(e.rssSeed, e.hashOut)
-	return int(uint64(e.hashOut[0]) * uint64(e.cfg.Workers) >> 32)
+	return flowkey.RSSIndex(key, e.cfg.Seed, e.cfg.Workers)
 }
 
 // Ingest dispatches packets to the workers: each packet is RSS-hashed

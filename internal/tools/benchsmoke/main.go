@@ -1,19 +1,31 @@
-// Command benchsmoke gates the telemetry overhead budget. It reads
-// `go test -bench` output on stdin, takes the best (minimum) ns/op per
-// sub-benchmark across repetitions, and fails when the instrumented
-// variant is more than -max times slower than the baseline. It backs
-// the `make bench-smoke` target and the CI bench-smoke job.
+// Command benchsmoke gates benchmark ratios. It reads `go test -bench`
+// output on stdin, takes the best (minimum) ns/op per sub-benchmark
+// across repetitions, and compares the -on variant against the -off
+// baseline:
+//
+//   - -max fails when on/off exceeds it (an overhead budget — the
+//     telemetry gate of `make bench-smoke`);
+//   - -min fails when off/on falls below it (a speedup floor — the
+//     multi-queue gate of `make bench-alloc`, where -off is the 1-queue
+//     run and -on the N-queue run).
+//
+// Either gate is disabled by passing 0. -need-cpus skips the gates
+// (exit 0, input echoed) on hosts with fewer CPUs than the speedup
+// under test needs — parallel speedups are physical-core facts, not
+// code facts, so the floor is enforced only where cores exist (CI).
 //
 // Usage:
 //
 //	go test -run '^$' -bench 'BenchmarkInsertBatch/' -count 6 . |
 //	    benchsmoke -off telemetry-off -on telemetry-on -max 1.05
+//	go test -run '^$' -bench 'BenchmarkReplayQueues/' -count 6 ./internal/shard/ |
+//	    benchsmoke -off queues-1 -on queues-4 -max 0 -min 1.8 -need-cpus 4
 //
 // Min-of-counts is the standard way to reject scheduler and frequency
 // noise on shared CI hosts: the minimum is the run least perturbed by
-// the environment, and the telemetry delta (a handful of atomic adds
-// per 256-packet burst) is deterministic, so it survives the minimum.
-// The exit status is 1 when the ratio gate fails and 2 when either
+// the environment, and the deltas under test (atomic adds per burst, a
+// core-count speedup) are deterministic, so they survive the minimum.
+// The exit status is 1 when a ratio gate fails and 2 when either
 // sub-benchmark is missing from the input, so an empty or broken bench
 // run cannot pass the gate.
 package main
@@ -24,15 +36,25 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 )
 
 func main() {
 	off := flag.String("off", "telemetry-off", "baseline sub-benchmark name")
-	on := flag.String("on", "telemetry-on", "instrumented sub-benchmark name")
-	max := flag.Float64("max", 1.05, "maximum allowed on/off ns-per-op ratio")
+	on := flag.String("on", "telemetry-on", "compared sub-benchmark name")
+	max := flag.Float64("max", 1.05, "maximum allowed on/off ns-per-op ratio (0 disables)")
+	min := flag.Float64("min", 0, "minimum required off/on speedup (0 disables)")
+	needCPUs := flag.Int("need-cpus", 0, "skip the gates (exit 0) on hosts with fewer CPUs")
 	flag.Parse()
+
+	if *needCPUs > 0 && runtime.NumCPU() < *needCPUs {
+		io.Copy(os.Stdout, os.Stdin)
+		fmt.Printf("benchsmoke: skipping gates, host has %d CPUs and the gate needs %d\n",
+			runtime.NumCPU(), *needCPUs)
+		return
+	}
 
 	best, err := scan(os.Stdin)
 	if err != nil {
@@ -46,14 +68,30 @@ func main() {
 			names(best), *off, *on)
 		os.Exit(2)
 	}
-	ratio := onNs / offNs
-	fmt.Printf("benchsmoke: %s %.2f ns/op, %s %.2f ns/op, ratio %.4f (max %.2f)\n",
-		*off, offNs, *on, onNs, ratio, *max)
-	if ratio > *max {
-		fmt.Fprintf(os.Stderr, "benchsmoke: telemetry overhead %.1f%% exceeds the %.1f%% budget\n",
-			(ratio-1)*100, (*max-1)*100)
+	if msg := verdict(offNs, onNs, *max, *min); msg != "" {
+		fmt.Printf("benchsmoke: %s %.2f ns/op, %s %.2f ns/op\n", *off, offNs, *on, onNs)
+		fmt.Fprintf(os.Stderr, "benchsmoke: %s\n", msg)
 		os.Exit(1)
 	}
+	fmt.Printf("benchsmoke: %s %.2f ns/op, %s %.2f ns/op, on/off %.4f (max %.2f, min speedup %.2f)\n",
+		*off, offNs, *on, onNs, onNs/offNs, *max, *min)
+}
+
+// verdict applies the enabled gates and returns a failure message, or
+// "" when every enabled gate passes.
+func verdict(offNs, onNs, max, min float64) string {
+	if max > 0 {
+		if ratio := onNs / offNs; ratio > max {
+			return fmt.Sprintf("overhead %.1f%% exceeds the %.1f%% budget",
+				(ratio-1)*100, (max-1)*100)
+		}
+	}
+	if min > 0 {
+		if speedup := offNs / onNs; speedup < min {
+			return fmt.Sprintf("speedup %.2fx falls short of the %.2fx floor", speedup, min)
+		}
+	}
+	return ""
 }
 
 // scan collects the minimum ns/op per sub-benchmark from go test -bench

@@ -35,3 +35,26 @@ func TestScanNoSuffix(t *testing.T) {
 		t.Errorf("min = %v, want 50.0", got)
 	}
 }
+
+func TestVerdictGates(t *testing.T) {
+	cases := []struct {
+		name              string
+		off, on, max, min float64
+		fail              bool
+	}{
+		{"overhead within budget", 100, 104, 1.05, 0, false},
+		{"overhead over budget", 100, 110, 1.05, 0, true},
+		{"max disabled ignores overhead", 100, 500, 0, 0, false},
+		{"speedup meets floor", 200, 100, 0, 1.8, false},
+		{"speedup below floor", 150, 100, 0, 1.8, true},
+		{"both gates pass", 200, 100, 1.05, 1.8, false},
+		{"min disabled ignores slowdown ratio", 100, 100, 0, 0, false},
+	}
+	for _, c := range cases {
+		msg := verdict(c.off, c.on, c.max, c.min)
+		if (msg != "") != c.fail {
+			t.Errorf("%s: verdict(%v,%v,%v,%v) = %q, want fail=%v",
+				c.name, c.off, c.on, c.max, c.min, msg, c.fail)
+		}
+	}
+}
