@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race chaos bench bench-insert bench-ring bench-smoke bench-alloc fuzz fmt docs clean cover verify-stats
+.PHONY: build test race chaos bench bench-insert bench-ring bench-smoke bench-alloc bench-report fuzz fmt docs clean cover verify-stats
 
 build:
 	$(GO) build ./...
@@ -61,7 +61,17 @@ bench-alloc:
 	$(GO) test -run '^$$' -bench 'BenchmarkReplayQueues/' -count 4 -benchtime 5x ./internal/shard/ \
 		| $(GO) run ./internal/tools/benchsmoke -off queues-1 -on queues-4 -max 0 -min 1.8 -need-cpus 4
 
-bench: bench-insert bench-ring bench-smoke
+# Report compression gates (DESIGN.md §14): at the harness geometry the
+# compressed codec must undercut full snapshots by at least 5× on wire
+# bytes, and decoding a compressed report must not be slower than
+# decoding the full snapshot it replaces (measured ≈2× faster;
+# min-of-counts rejects CI host noise, see internal/tools/benchsmoke).
+bench-report:
+	$(GO) test -run 'TestCompressionRatioFloor' -count=1 -v ./internal/report/
+	$(GO) test -run '^$$' -bench 'BenchmarkReportDecode/' -count 4 ./internal/report/ \
+		| $(GO) run ./internal/tools/benchsmoke -off decode-full -on decode-compressed -max 0 -min 1.0
+
+bench: bench-insert bench-ring bench-smoke bench-report
 
 # Short fuzz pass over the multi-seed hash (equivalence with Bob32).
 fuzz:

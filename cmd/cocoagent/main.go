@@ -18,7 +18,10 @@
 // backlog when connectivity returns (exit 1 only if epochs remain
 // undelivered at the end). -write-timeout bounds each report exchange.
 //
-// All agents and the collector must agree on -mem, -d and -seed.
+// All agents and the collector must agree on -mem, -d, -seed and
+// -report-codec (the compressed codec rounds the memory-derived bucket
+// count down to a multiple of report.GeometryAlign on both ends so any
+// power-of-two -report-shrink divides the shared geometry).
 //
 // Usage:
 //
@@ -37,6 +40,7 @@ import (
 	"cocosketch/internal/core"
 	"cocosketch/internal/flowkey"
 	"cocosketch/internal/netwide"
+	"cocosketch/internal/report"
 	"cocosketch/internal/shard"
 	"cocosketch/internal/telemetry"
 	"cocosketch/internal/trace"
@@ -44,6 +48,19 @@ import (
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// reportCodec resolves the -report-codec / -report-shrink flags into a
+// report codec over the shared sketch configuration.
+func reportCodec(name string, shrink int, cfg core.Config) (report.Codec[flowkey.FiveTuple], error) {
+	switch name {
+	case "full":
+		return report.Full[flowkey.FiveTuple](flowkey.FiveTupleFromBytes), nil
+	case "compressed":
+		return report.Compressed[flowkey.FiveTuple](cfg, shrink, flowkey.FiveTupleFromBytes)
+	default:
+		return nil, fmt.Errorf("unknown -report-codec %q (want full or compressed)", name)
+	}
 }
 
 // run is the testable entry point: it parses args, measures the
@@ -66,6 +83,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		redials   = fs.Int("redials", 2, "redial attempts per epoch report")
 		spool     = fs.Int("spool", 0, "bound undelivered epochs in a coalescing spool and keep measuring through collector outages (0 = fail fast on report error)")
 		writeTO   = fs.Duration("write-timeout", 0, "deadline per report exchange, so a stalled collector cannot block the agent (0 = none)")
+		codecName = fs.String("report-codec", "full", "epoch report codec: full (complete snapshots, compatible default) or compressed (two-stage delta reports, DESIGN.md §14; the collector must run -report-codec=compressed too)")
+		shrink    = fs.Int("report-shrink", 8, "small-stage shrink factor for -report-codec=compressed: ship 1/N of the buckets per array (power of two dividing the geometry)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -83,10 +102,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	cfg := core.ConfigForMemory[flowkey.FiveTuple](*d, *memKB*1024, *seed)
+	if *codecName == "compressed" {
+		// Memory-derived bucket counts rarely divide by the shrink
+		// factor; both ends round identically so geometries agree.
+		cfg = report.AlignConfig(cfg)
+	}
 	agent := netwide.NewAgent(uint16(*id), cfg).SetTelemetry(reg).SetWriteTimeout(*writeTO)
 	if *spool > 0 {
 		agent.SetSpool(*spool, netwide.SpoolCoalesce)
 	}
+	codec, err := reportCodec(*codecName, *shrink, cfg)
+	if err != nil {
+		fmt.Fprintf(stderr, "cocoagent: %v\n", err)
+		return 2
+	}
+	agent.SetCodec(codec)
 
 	dial := func() (net.Conn, error) { return net.Dial("tcp", *collector) }
 	conn, err := dial()

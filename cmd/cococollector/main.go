@@ -3,8 +3,10 @@
 // each epoch's shards, and periodically prints network-wide top flows
 // for the requested partial keys.
 //
-// All agents and the collector must agree on -mem, -d and -seed (the
-// shared sketch configuration that makes shards mergeable).
+// All agents and the collector must agree on -mem, -d, -seed and
+// -report-codec (the shared sketch configuration that makes shards
+// mergeable; the compressed codec rounds the memory-derived bucket
+// count down to a multiple of report.GeometryAlign on both ends).
 //
 // With -telemetry the collector serves its runtime counters as
 // expvar-style JSON on /debug/vars and mounts net/http/pprof under
@@ -29,6 +31,7 @@ import (
 	"cocosketch/internal/flowkey"
 	"cocosketch/internal/netwide"
 	"cocosketch/internal/query"
+	"cocosketch/internal/report"
 	"cocosketch/internal/telemetry"
 )
 
@@ -45,16 +48,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("cococollector", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		listen  = fs.String("listen", "127.0.0.1:7700", "address to listen on")
-		memKB   = fs.Int("mem", 500, "shared sketch memory in KB")
-		d       = fs.Int("d", core.DefaultArrays, "shared number of arrays")
-		seed    = fs.Uint64("seed", 1, "shared sketch seed")
-		keys    = fs.String("keys", "SrcIP", "comma-separated partial keys to report")
-		top     = fs.Int("top", 5, "rows per partial key")
-		every   = fs.Duration("every", 5*time.Second, "reporting interval")
-		oneshot = fs.Bool("oneshot", false, "print one report after the first epoch completes, then exit")
-		telAddr = fs.String("telemetry", "", "serve /debug/vars and /debug/pprof on this address (off when empty)")
-		idleTO  = fs.Duration("idle-timeout", 0, "drop an agent connection after this much silence, freeing its handler (0 = never)")
+		listen    = fs.String("listen", "127.0.0.1:7700", "address to listen on")
+		memKB     = fs.Int("mem", 500, "shared sketch memory in KB")
+		d         = fs.Int("d", core.DefaultArrays, "shared number of arrays")
+		seed      = fs.Uint64("seed", 1, "shared sketch seed")
+		keys      = fs.String("keys", "SrcIP", "comma-separated partial keys to report")
+		top       = fs.Int("top", 5, "rows per partial key")
+		every     = fs.Duration("every", 5*time.Second, "reporting interval")
+		oneshot   = fs.Bool("oneshot", false, "print one report after the first epoch completes, then exit")
+		telAddr   = fs.String("telemetry", "", "serve /debug/vars and /debug/pprof on this address (off when empty)")
+		idleTO    = fs.Duration("idle-timeout", 0, "drop an agent connection after this much silence, freeing its handler (0 = never)")
+		codecName = fs.String("report-codec", "full", "report codec to accept: full (snapshots only, compatible default) or compressed (two-stage delta reports, DESIGN.md §14; also accepts full snapshots)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -82,7 +86,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	cfg := core.ConfigForMemory[flowkey.FiveTuple](*d, *memKB*1024, *seed)
+	if *codecName == "compressed" {
+		// Same deterministic rounding cocoagent applies: memory-derived
+		// bucket counts rarely divide by a shrink factor, and the two
+		// ends must agree on the fat geometry.
+		cfg = report.AlignConfig(cfg)
+	}
 	collector := netwide.NewCollector(cfg).SetTelemetry(reg).SetIdleTimeout(*idleTO)
+	switch *codecName {
+	case "full":
+		// NewCollector's default decoder.
+	case "compressed":
+		// Shrink 1 here only parameterizes the unused encode side; the
+		// decoder accepts any shrink factor the payload declares, as
+		// long as it expands back to the shared geometry.
+		codec, err := report.Compressed[flowkey.FiveTuple](cfg, 1, flowkey.FiveTupleFromBytes)
+		if err != nil {
+			fmt.Fprintf(stderr, "cococollector: %v\n", err)
+			return 2
+		}
+		collector.SetCodec(codec)
+	default:
+		fmt.Fprintf(stderr, "cococollector: unknown -report-codec %q (want full or compressed)\n", *codecName)
+		return 2
+	}
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
 		fmt.Fprintf(stderr, "cococollector: %v\n", err)

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"cocosketch/internal/flowkey"
+)
+
+// stageStream inserts n pseudo-random packets drawn from a skewed key
+// population, so sketches carry realistic occupancy.
+func stageStream(s *Basic[flowkey.FiveTuple], n int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		s.Insert(tuple(uint32(rng.Intn(200)), uint16(rng.Intn(50))), uint64(1+rng.Intn(4)))
+	}
+}
+
+func mustMarshal(t *testing.T, s *Basic[flowkey.FiveTuple]) []byte {
+	t.Helper()
+	blob, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}
+
+func TestCloneIsDeepAndBitIdentical(t *testing.T) {
+	s := NewBasic[flowkey.FiveTuple](Config{Arrays: 2, BucketsPerArray: 32, Seed: 7})
+	stageStream(s, 5000, 1)
+
+	c := s.Clone()
+	if !bytes.Equal(mustMarshal(t, s), mustMarshal(t, c)) {
+		t.Fatal("clone is not bit-identical to the original")
+	}
+	if c.RNGState() != s.RNGState() {
+		t.Fatal("clone did not carry the RNG state")
+	}
+
+	// Mutating either side must not leak into the other.
+	before := mustMarshal(t, c)
+	stageStream(s, 1000, 2)
+	if !bytes.Equal(before, mustMarshal(t, c)) {
+		t.Fatal("mutating the original changed the clone")
+	}
+	stageStream(c, 1000, 3)
+	afterOriginal := mustMarshal(t, s)
+	stageStream(c, 1000, 4)
+	if !bytes.Equal(afterOriginal, mustMarshal(t, s)) {
+		t.Fatal("mutating the clone changed the original")
+	}
+}
+
+func TestExtractStageGeometryAndConservation(t *testing.T) {
+	s := NewBasic[flowkey.FiveTuple](Config{Arrays: 2, BucketsPerArray: 64, Seed: 11})
+	stageStream(s, 20000, 5)
+	fatBefore := mustMarshal(t, s)
+
+	for _, factor := range []int{1, 2, 8} {
+		stage, err := s.ExtractStage(factor)
+		if err != nil {
+			t.Fatalf("ExtractStage(%d): %v", factor, err)
+		}
+		if stage.Arrays() != 2 || stage.BucketsPerArray() != 64/factor {
+			t.Fatalf("ExtractStage(%d): geometry %d×%d", factor, stage.Arrays(), stage.BucketsPerArray())
+		}
+		if stage.SumValues() != s.SumValues() {
+			t.Fatalf("ExtractStage(%d): mass %d, fat has %d", factor, stage.SumValues(), s.SumValues())
+		}
+	}
+	if !bytes.Equal(fatBefore, mustMarshal(t, s)) {
+		t.Fatal("ExtractStage mutated the fat sketch")
+	}
+
+	if _, err := s.ExtractStage(3); err == nil {
+		t.Fatal("ExtractStage(3) accepted a non-power-of-two factor")
+	}
+	if _, err := s.ExtractStage(128); err == nil {
+		t.Fatal("ExtractStage(128) accepted a factor exceeding the geometry")
+	}
+}
+
+// TestOccupiedBucketsSelfAddressing pins the invariant the report
+// decoder's invertibility check relies on: in any sketch — including
+// one compressed to a smaller stage — every occupied bucket holds a
+// key that hashes to exactly that bucket in its array.
+func TestOccupiedBucketsSelfAddressing(t *testing.T) {
+	for _, factor := range []int{1, 2, 4} {
+		s := NewBasic[flowkey.FiveTuple](Config{Arrays: 3, BucketsPerArray: 32, Seed: 13})
+		stageStream(s, 30000, 6)
+		stage, err := s.ExtractStage(factor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, l := stage.Arrays(), stage.BucketsPerArray()
+		buckets := stage.Buckets()
+		for i := 0; i < d; i++ {
+			for j := 0; j < l; j++ {
+				b := buckets[i*l+j]
+				if b.Val == 0 {
+					continue
+				}
+				if got := stage.BucketIndices(b.Key)[i]; int(got) != j {
+					t.Fatalf("factor %d: bucket (%d,%d) holds a key hashing to %d", factor, i, j, got)
+				}
+			}
+		}
+	}
+}
+
+func TestMarshaledSizeMatchesMarshalBinary(t *testing.T) {
+	for _, cfg := range []Config{
+		{Arrays: 2, BucketsPerArray: 64, Seed: 1},
+		{Arrays: 3, BucketsPerArray: 17, Seed: 2},
+	} {
+		s := NewBasic[flowkey.FiveTuple](cfg)
+		stageStream(s, 1000, 7)
+		if got, want := s.MarshaledSize(), len(mustMarshal(t, s)); got != want {
+			t.Fatalf("MarshaledSize() = %d, MarshalBinary is %d bytes", got, want)
+		}
+	}
+}
+
+// TestSetRNGStateResumesSequence: restoring a captured state makes two
+// sketches with identical buckets evolve identically — the property
+// that lets a reconstructed stage continue exactly where the shipped
+// one stopped.
+func TestSetRNGStateResumesSequence(t *testing.T) {
+	s := NewBasic[flowkey.FiveTuple](Config{Arrays: 2, BucketsPerArray: 16, Seed: 3})
+	stageStream(s, 4000, 8)
+
+	c := NewBasic[flowkey.FiveTuple](Config{Arrays: 2, BucketsPerArray: 16, Seed: 3})
+	if err := c.Merge(s); err != nil { // empty-merge copies buckets, no RNG draws
+		t.Fatal(err)
+	}
+	c.SetRNGState(s.RNGState())
+
+	stageStream(s, 4000, 9)
+	stageStream(c, 4000, 9)
+	if !bytes.Equal(mustMarshal(t, s), mustMarshal(t, c)) {
+		t.Fatal("restored RNG state did not reproduce the insertion sequence")
+	}
+}

@@ -16,7 +16,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig15a", "fig15b", "fig15c", "fig15d", "fig16", "fig17",
 		"fig18a", "fig18b", "table2",
 		"ext-entropy", "ext-distinct", "headline", "ext-hhh-granularity",
-		"ext-scaling", "ext-zeroalloc",
+		"ext-scaling", "ext-zeroalloc", "ext-report",
 	}
 	ids := IDs()
 	got := make(map[string]bool, len(ids))
@@ -189,6 +189,44 @@ func TestExtScalingShape(t *testing.T) {
 	// Scaling with workers requires physical cores, so the shape test
 	// only pins that every worker count completes losslessly (the
 	// runner errors on lost packets) and reports positive throughput.
+}
+
+func TestExtReportShape(t *testing.T) {
+	res := runID(t, "ext-report")
+	if len(res.Rows) != 5 {
+		t.Fatalf("want 5 codec rows, got %d", len(res.Rows))
+	}
+	if res.Rows[0][0] != "full" {
+		t.Errorf("first row = %s, want the full-codec baseline", res.Rows[0][0])
+	}
+	ratio := func(row []string) float64 {
+		r, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			t.Fatalf("codec %s: bad ratio %q", row[0], row[3])
+		}
+		return r
+	}
+	// The full codec ships MarshalBinary verbatim: ratio exactly 1.
+	if r := ratio(res.Rows[0]); r != 1 {
+		t.Errorf("full-codec byte ratio = %v, want exactly 1", r)
+	}
+	// Ratios must grow monotonically with the shrink factor, and
+	// shrink-8 (the -report-shrink default) must clear the 5× floor
+	// that make bench-report gates.
+	prev := 0.0
+	for _, row := range res.Rows {
+		r := ratio(row)
+		if r <= prev {
+			t.Errorf("codec %s: ratio %v not above previous %v", row[0], r, prev)
+		}
+		prev = r
+		if are, err := strconv.ParseFloat(row[4], 64); err != nil || are < 0 {
+			t.Errorf("codec %s: bad HH ARE %q", row[0], row[4])
+		}
+	}
+	if r := ratio(res.Rows[3]); r < 5 {
+		t.Errorf("shrink-8 ratio %v below the 5× floor", r)
+	}
 }
 
 func TestExtZeroAllocShape(t *testing.T) {

@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"cocosketch/internal/core"
+	"cocosketch/internal/flowkey"
+	"cocosketch/internal/report"
+	"cocosketch/internal/trace"
+)
+
+// Report-compression experiment: the bandwidth/accuracy tradeoff of
+// the two-stage epoch reports (DESIGN.md §14). Each row ships the same
+// multi-epoch workload through one report codec — full snapshots or
+// delta-compressed small stages at increasing shrink factors — and
+// measures wire bytes against the full-snapshot baseline plus the
+// decoded tables' heavy-hitter error against exact per-epoch counts.
+
+func init() {
+	register("ext-report", runExtReport)
+}
+
+// reportEpochs splits the experiment trace into this many epochs.
+const reportEpochs = 4
+
+// runExtReport replays the trace through an agent-side fat sketch per
+// epoch, seals and encodes each epoch with the codec under test
+// (deltas acknowledged in order, as a healthy agent/collector pair
+// would), decodes at a simulated collector, and scores bytes and
+// accuracy.
+func runExtReport(cfg RunConfig) (*TableResult, error) {
+	tr := trace.CAIDALike(cfg.packets(), cfg.Seed)
+	sketchCfg := core.Config{Arrays: 2, BucketsPerArray: 512, Seed: cfg.Seed + 17}
+
+	out := &TableResult{
+		ID:      "ext-report",
+		Title:   "Epoch report compression: wire bytes and decoded accuracy vs codec",
+		Columns: []string{"codec", "wire KB", "raw KB", "ratio", "HH ARE"},
+		Notes: []string{
+			fmt.Sprintf("%d epochs of %d packets; raw = full-snapshot bytes; HH ARE = mean relative error of each epoch's top-16 exact flows in the decoded table", reportEpochs, len(tr.Packets)/reportEpochs),
+			"shrinking the shipped stage to l/k buckets trades the subset-sum variance ceiling f·V/l up to f·V/(l/k) for the byte ratio (paper Thm 2 / Lemma 5)",
+		},
+	}
+
+	type row struct {
+		name   string
+		shrink int // 0 = full codec
+	}
+	rows := []row{{"full", 0}, {"shrink-2", 2}, {"shrink-4", 4}, {"shrink-8", 8}, {"shrink-16", 16}}
+	per := len(tr.Packets) / reportEpochs
+	for _, r := range rows {
+		var codec report.Codec[flowkey.FiveTuple]
+		if r.shrink == 0 {
+			codec = report.Full[flowkey.FiveTuple](flowkey.FiveTupleFromBytes)
+		} else {
+			var err error
+			codec, err = report.Compressed[flowkey.FiveTuple](sketchCfg, r.shrink, flowkey.FiveTupleFromBytes)
+			if err != nil {
+				return nil, err
+			}
+		}
+		enc := codec.NewEncoder()
+		dec := codec.NewDecoder()
+		var wire, raw uint64
+		var areSum float64
+		var areN int
+		for e := 0; e < reportEpochs; e++ {
+			fat := core.NewBasic[flowkey.FiveTuple](sketchCfg)
+			exact := make(map[flowkey.FiveTuple]uint64, per)
+			for _, p := range tr.Packets[e*per : (e+1)*per] {
+				fat.Insert(p.Key, 1)
+				exact[p.Key]++
+			}
+			stage, err := codec.Seal(fat)
+			if err != nil {
+				return nil, err
+			}
+			blob, err := enc.Encode(uint32(e), stage)
+			if err != nil {
+				return nil, err
+			}
+			decoded, err := dec.Decode(1, uint32(e), blob)
+			if err != nil {
+				return nil, err
+			}
+			enc.Ack(uint32(e), stage)
+			wire += uint64(len(blob))
+			raw += uint64(fat.MarshaledSize())
+
+			table := decoded.Decode()
+			for _, k := range topKeys(exact, 16) {
+				truth := float64(exact[k])
+				est := float64(table[k])
+				if est > truth {
+					areSum += (est - truth) / truth
+				} else {
+					areSum += (truth - est) / truth
+				}
+				areN++
+			}
+		}
+		out.AddRow(r.name,
+			float64(wire)/1024,
+			float64(raw)/1024,
+			float64(raw)/float64(wire),
+			areSum/float64(areN))
+	}
+	return out, nil
+}
+
+// topKeys returns the n heaviest keys of an exact count table.
+func topKeys(exact map[flowkey.FiveTuple]uint64, n int) []flowkey.FiveTuple {
+	keys := make([]flowkey.FiveTuple, 0, len(exact))
+	for k := range exact {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if exact[keys[i]] != exact[keys[j]] {
+			return exact[keys[i]] > exact[keys[j]]
+		}
+		return keys[i].String() < keys[j].String()
+	})
+	if len(keys) > n {
+		keys = keys[:n]
+	}
+	return keys
+}

@@ -7,6 +7,7 @@ import (
 
 	"cocosketch/internal/core"
 	"cocosketch/internal/flowkey"
+	"cocosketch/internal/report"
 	"cocosketch/internal/telemetry"
 )
 
@@ -19,12 +20,19 @@ const DefaultSpoolLimit = 8
 type SpoolPolicy int
 
 const (
-	// SpoolCoalesce merges the two newest spool entries with
-	// core.Merge: memory stays bounded, no observation is lost, and
-	// estimates over the union stay unbiased — the epochs just coarsen
-	// (the merged report spans an epoch range). The head of the spool
-	// is never coalesced when the limit is at least 2, because a head
-	// entry may already have been received by the collector with its
+	// SpoolCoalesce merges the newest adjacent pair of spool entries
+	// sealed by the same codec with core.Merge: memory stays bounded,
+	// no observation is lost, and estimates over the union stay
+	// unbiased — the epochs just coarsen (the merged report spans an
+	// epoch range). Coalescing is codec-aware: entries sealed by
+	// different codecs have different stage geometries and delta
+	// semantics, so they never merge; if a mixed-codec spool has no
+	// mergeable adjacent pair at all, the oldest non-head entry is
+	// shed instead, with its weight counted in
+	// "netwide.dropped_weight" (exact accounting, like
+	// SpoolDropOldest). The head of the spool is never coalesced or
+	// shed when the limit is at least 2, because a head entry may
+	// already have been received by the collector with its
 	// acknowledgement lost, and re-sending it unmodified is what makes
 	// the retry idempotent.
 	SpoolCoalesce SpoolPolicy = iota
@@ -34,13 +42,20 @@ const (
 	SpoolDropOldest
 )
 
-// spoolEntry is one undelivered report: the sealed sketch and the
-// contiguous epoch range it covers ([lo, hi], both inclusive; lo == hi
-// until coalescing widens it).
+// spoolEntry is one undelivered report: the stage sealed by the
+// epoch's codec and the contiguous epoch range it covers ([lo, hi],
+// both inclusive; lo == hi until coalescing widens it). The sealing
+// codec rides along so a spool that spans a SetCodec switch still
+// flushes every entry through the encoder that understands it, and so
+// coalescing only merges stages of the same codec (same geometry).
 type spoolEntry struct {
 	lo, hi uint32
-	sketch *core.Basic[flowkey.FiveTuple]
+	stage  *core.Basic[flowkey.FiveTuple]
 	weight uint64
+	// rawBytes is what a full snapshot of the sealed epoch would have
+	// cost on the wire — the numerator of the compression ratio.
+	rawBytes uint64
+	codec    report.Codec[flowkey.FiveTuple]
 }
 
 // Agent is one vantage point: it measures local traffic into a basic
@@ -73,6 +88,16 @@ type Agent struct {
 	spool        []spoolEntry
 	spoolLimit   int
 	spoolPolicy  SpoolPolicy
+
+	// codec seals epochs from here on; encoders holds one live encoder
+	// per codec ever used (delta state must survive codec switches for
+	// entries already spooled under the old codec).
+	codec    report.Codec[flowkey.FiveTuple]
+	encoders map[report.Codec[flowkey.FiveTuple]]report.Encoder[flowkey.FiveTuple]
+	// local is the fat stage of the most recently sealed epoch: with a
+	// compressed codec only the small stage ships, and this keeps
+	// full-resolution local queries possible (SF-sketch's split).
+	local *core.Basic[flowkey.FiveTuple]
 }
 
 // agentTel groups the agent-side counters (all nil-safe; nil without
@@ -83,10 +108,14 @@ type agentTel struct {
 	// sketch's weight for Absorb).
 	observed *telemetry.Counter
 	// reportsSent counts successfully acknowledged reports;
-	// reportBytes their serialized payload bytes; deliveredWeight the
-	// sketch weight those reports carried.
+	// reportBytes their on-the-wire payload bytes; reportRawBytes what
+	// the same reports would have cost as full snapshots (the codec
+	// compression baseline); reportRatio the per-report raw/wire ratio
+	// ×100; deliveredWeight the sketch weight those reports carried.
 	reportsSent     *telemetry.Counter
 	reportBytes     *telemetry.Counter
+	reportRawBytes  *telemetry.Counter
+	reportRatio     *telemetry.Histogram
 	deliveredWeight *telemetry.Counter
 	// absorbs counts external sketches merged in (sharded ingest).
 	absorbs *telemetry.Counter
@@ -119,6 +148,8 @@ func (a *Agent) SetTelemetry(r *telemetry.Registry) *Agent {
 		observed:        r.Counter("netwide.observed"),
 		reportsSent:     r.Counter("netwide.reports_sent"),
 		reportBytes:     r.Counter("netwide.report_bytes"),
+		reportRawBytes:  r.Counter("netwide.report_raw_bytes"),
+		reportRatio:     r.Histogram("netwide.report_ratio_x100"),
 		deliveredWeight: r.Counter("netwide.delivered_weight"),
 		absorbs:         r.Counter("netwide.absorbs"),
 		reconnects:      r.Counter("netwide.reconnects"),
@@ -146,7 +177,59 @@ func NewAgent(id uint16, cfg core.Config) *Agent {
 		clock:      SystemClock,
 		backoff:    NewBackoff(DefaultBackoffBase, DefaultBackoffMax, cfg.Seed^(uint64(id)+1)*0x9e3779b97f4a7c15),
 		spoolLimit: DefaultSpoolLimit,
+		codec:      report.Full[flowkey.FiveTuple](flowkey.FiveTupleFromBytes),
+		encoders:   make(map[report.Codec[flowkey.FiveTuple]]report.Encoder[flowkey.FiveTuple]),
 	}
+}
+
+// SetCodec selects the report codec sealing epochs from now on (the
+// default is report.Full, the pre-codec wire format). Epochs already
+// spooled keep the codec that sealed them, so switching mid-stream is
+// safe — the spool simply becomes mixed-codec until it drains (see
+// SpoolPolicy for how coalescing treats that). The collector must run
+// a decoder that understands the chosen codec (Collector.SetCodec);
+// DESIGN.md §14 has the compatibility matrix. Returns the agent for
+// chaining.
+func (a *Agent) SetCodec(c report.Codec[flowkey.FiveTuple]) *Agent {
+	a.codec = c
+	return a
+}
+
+// Codec returns the codec currently sealing epochs.
+func (a *Agent) Codec() report.Codec[flowkey.FiveTuple] { return a.codec }
+
+// LocalStage returns the fat stage of the most recently sealed epoch
+// (nil before the first EndEpoch or Report). With a compressed codec
+// only the extracted small stage ships to the collector; the fat
+// sketch stays here at full resolution for local queries, per
+// SF-sketch's two-stage split. With the full codec the sealed sketch
+// itself is returned. Callers must treat it as read-only.
+func (a *Agent) LocalStage() *core.Basic[flowkey.FiveTuple] { return a.local }
+
+// encoderFor returns the live encoder for a codec, creating it on
+// first use. Encoders are per-codec because delta state is only
+// meaningful within one codec's stage geometry.
+func (a *Agent) encoderFor(c report.Codec[flowkey.FiveTuple]) report.Encoder[flowkey.FiveTuple] {
+	enc, ok := a.encoders[c]
+	if !ok {
+		enc = c.NewEncoder()
+		a.encoders[c] = enc
+	}
+	return enc
+}
+
+// seal converts the current epoch's fat sketch into its wire stage via
+// the active codec, retaining the fat sketch for LocalStage. A codec
+// that cannot stage this geometry falls back to the fat sketch itself:
+// every codec's wire format is self-describing, so the report is then
+// merely uncompressed, never wrong.
+func (a *Agent) seal() *core.Basic[flowkey.FiveTuple] {
+	stage, err := a.codec.Seal(a.sketch)
+	if err != nil {
+		stage = a.sketch
+	}
+	a.local = a.sketch
+	return stage
 }
 
 // SetClock replaces the agent's time source (deadlines and backoff
@@ -232,7 +315,14 @@ func (a *Agent) PendingWeight() uint64 {
 // Flush (or FlushWithRedial) to attempt delivery. Overflow beyond the
 // spool limit is resolved by the configured SpoolPolicy.
 func (a *Agent) EndEpoch() {
-	e := spoolEntry{lo: a.epoch, hi: a.epoch, sketch: a.sketch, weight: a.sketch.SumValues()}
+	e := spoolEntry{
+		lo:       a.epoch,
+		hi:       a.epoch,
+		weight:   a.sketch.SumValues(),
+		rawBytes: uint64(a.sketch.MarshaledSize()),
+		codec:    a.codec,
+	}
+	e.stage = a.seal()
 	a.epoch++
 	a.sketch = core.NewBasic[flowkey.FiveTuple](a.cfg).SetTelemetry(a.sketchTel)
 	a.spool = append(a.spool, e)
@@ -252,20 +342,49 @@ func (a *Agent) shedOverflow() {
 		a.tel.droppedWeight.Add(head.weight)
 		a.tel.droppedEpochs.Add(uint64(head.hi-head.lo) + 1)
 	default: // SpoolCoalesce
-		i, j := len(a.spool)-2, len(a.spool)-1
-		if err := a.spool[i].sketch.Merge(a.spool[j].sketch); err != nil {
-			// Same Config on both sides makes this unreachable; shed
-			// the newer entry rather than corrupt the older if it
-			// ever happens.
-			a.tel.droppedWeight.Add(a.spool[j].weight)
-			a.tel.droppedEpochs.Add(uint64(a.spool[j].hi-a.spool[j].lo) + 1)
-			a.spool = a.spool[:j]
+		// Coalescing is codec-aware: only adjacent entries sealed by
+		// the same codec may merge (same stage geometry, and the
+		// merged stage is something that codec's encoder can still
+		// delta-encode). Scan newest-first so a single-codec spool
+		// behaves exactly as before — the two newest entries merge.
+		// The head (index 0) stays untouched unless it is half of the
+		// only pair, preserving retry idempotency (see SpoolPolicy).
+		low := 1
+		if len(a.spool) == 2 {
+			low = 0
+		}
+		for i := len(a.spool) - 2; i >= low; i-- {
+			j := i + 1
+			if a.spool[i].codec != a.spool[j].codec {
+				continue
+			}
+			// Merge validates compatibility before mutating, so a
+			// failed pair can be skipped and the scan continued.
+			if err := a.spool[i].stage.Merge(a.spool[j].stage); err != nil {
+				continue
+			}
+			a.spool[i].hi = a.spool[j].hi
+			a.spool[i].weight += a.spool[j].weight
+			// The merged range's snapshot baseline is one snapshot,
+			// not two: keep the larger of the pair.
+			if a.spool[j].rawBytes > a.spool[i].rawBytes {
+				a.spool[i].rawBytes = a.spool[j].rawBytes
+			}
+			a.spool = append(a.spool[:j], a.spool[j+1:]...)
+			a.tel.spoolCoalesced.Inc()
 			return
 		}
-		a.spool[i].hi = a.spool[j].hi
-		a.spool[i].weight += a.spool[j].weight
-		a.spool = a.spool[:j]
-		a.tel.spoolCoalesced.Inc()
+		// No mergeable pair (a mixed-codec spool with alternating
+		// seams): shed the oldest non-head entry with exact
+		// accounting, keeping the possibly-transmitted head intact.
+		drop := 1
+		if len(a.spool) < 2 {
+			drop = 0
+		}
+		d := a.spool[drop]
+		a.spool = append(a.spool[:drop], a.spool[drop+1:]...)
+		a.tel.droppedWeight.Add(d.weight)
+		a.tel.droppedEpochs.Add(uint64(d.hi-d.lo) + 1)
 	}
 }
 
@@ -277,20 +396,32 @@ func (a *Agent) updateSpoolTel() {
 
 // Flush delivers spooled reports oldest-first over conn, stopping at
 // the first transport error (delivered entries are retired either
-// way). Each exchange runs under the agent's write timeout. A nil
-// return means the spool is empty.
+// way). Each entry is encoded by the codec that sealed it; payloads
+// are delta-encoded at flush time, against the last acknowledged
+// report, so coalescing a spooled stage never invalidates a
+// pre-computed delta. Any failed exchange resets that codec's delta
+// base — the collector's receipt is then unknown, and the retry must
+// be self-contained. Each exchange runs under the agent's write
+// timeout. A nil return means the spool is empty.
 func (a *Agent) Flush(conn net.Conn) error {
 	for len(a.spool) > 0 {
 		e := &a.spool[0]
-		blob, err := e.sketch.MarshalBinary()
+		enc := a.encoderFor(e.codec)
+		blob, err := enc.Encode(e.hi, e.stage)
 		if err != nil {
 			return err
 		}
 		if err := a.exchange(conn, Message{Type: MsgSketch, Epoch: e.hi, AgentID: a.id, Payload: blob}); err != nil {
+			enc.Reset()
 			return err
 		}
+		enc.Ack(e.hi, e.stage)
 		a.tel.reportsSent.Inc()
 		a.tel.reportBytes.Add(uint64(len(blob)))
+		a.tel.reportRawBytes.Add(e.rawBytes)
+		if len(blob) > 0 {
+			a.tel.reportRatio.Observe(e.rawBytes * 100 / uint64(len(blob)))
+		}
 		a.tel.deliveredWeight.Add(e.weight)
 		a.spool = append(a.spool[:0], a.spool[1:]...)
 		a.updateSpoolTel()
@@ -329,24 +460,40 @@ func (a *Agent) exchange(conn net.Conn, msg Message) error {
 	return nil
 }
 
-// Report ships the current epoch's sketch to the collector over conn,
-// waits for the acknowledgement, and resets local state for the next
-// epoch. The spool is not involved: a failed Report leaves the epoch
-// open for a direct retry (ReportWithRedial), which is the simple
-// fail-fast mode of cmd/cocoagent without -spool.
+// Report ships the current epoch's sketch to the collector over conn
+// through the active codec, waits for the acknowledgement, and resets
+// local state for the next epoch. The spool is not involved: a failed
+// Report leaves the epoch open for a direct retry (ReportWithRedial),
+// which is the simple fail-fast mode of cmd/cocoagent without -spool.
+// As in Flush, a failed exchange resets the codec's delta base so the
+// retry is self-contained; sealing is deterministic, so the retried
+// payload describes the identical stage.
 func (a *Agent) Report(conn net.Conn) error {
-	blob, err := a.sketch.MarshalBinary()
+	stage, err := a.codec.Seal(a.sketch)
+	if err != nil {
+		stage = a.sketch
+	}
+	enc := a.encoderFor(a.codec)
+	blob, err := enc.Encode(a.epoch, stage)
 	if err != nil {
 		return err
 	}
 	w := a.sketch.SumValues()
+	raw := uint64(a.sketch.MarshaledSize())
 	if err := a.exchange(conn, Message{Type: MsgSketch, Epoch: a.epoch, AgentID: a.id, Payload: blob}); err != nil {
+		enc.Reset()
 		return err
 	}
+	enc.Ack(a.epoch, stage)
+	a.local = a.sketch
 	a.epoch++
 	a.sketch = core.NewBasic[flowkey.FiveTuple](a.cfg).SetTelemetry(a.sketchTel)
 	a.tel.reportsSent.Inc()
 	a.tel.reportBytes.Add(uint64(len(blob)))
+	a.tel.reportRawBytes.Add(raw)
+	if len(blob) > 0 {
+		a.tel.reportRatio.Observe(raw * 100 / uint64(len(blob)))
+	}
 	a.tel.deliveredWeight.Add(w)
 	return nil
 }

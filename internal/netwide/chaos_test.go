@@ -21,9 +21,14 @@ import (
 
 	"cocosketch/internal/faultnet"
 	"cocosketch/internal/flowkey"
+	"cocosketch/internal/report"
 	"cocosketch/internal/telemetry"
 	"cocosketch/internal/xrand"
 )
+
+// chaosShrink is the stage shrink factor used when a chaos scenario
+// runs under the compressed report codec.
+const chaosShrink = 4
 
 // chaosKey derives a deterministic 5-tuple from a flow id.
 func chaosKey(id uint64) flowkey.FiveTuple {
@@ -66,6 +71,11 @@ type chaosOpts struct {
 	// empties (bounded retries), modeling an agent that outlives the
 	// fault.
 	finalDrain bool
+
+	// compressed runs the scenario under the delta-compressed report
+	// codec on both ends instead of the default full snapshots. Faults
+	// then also exercise the encoder/decoder base-resync protocol.
+	compressed bool
 }
 
 // chaosResult is everything a scenario run produced, for determinism
@@ -101,6 +111,13 @@ func runChaos(t *testing.T, seed uint64, o chaosOpts) chaosResult {
 		SetClock(n).
 		SetIdleTimeout(time.Minute).
 		SetSpawn(n.Go)
+	if o.compressed {
+		cc, err := report.Compressed[flowkey.FiveTuple](cfg, chaosShrink, flowkey.FiveTupleFromBytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		coll.SetCodec(cc)
+	}
 	n.Go(func() { _ = coll.Serve(l) })
 
 	regA := telemetry.New()
@@ -110,6 +127,13 @@ func runChaos(t *testing.T, seed uint64, o chaosOpts) chaosResult {
 		SetWriteTimeout(10*time.Second).
 		SetBackoff(NewBackoff(DefaultBackoffBase, DefaultBackoffMax, seed)).
 		SetSpool(o.spoolLimit, o.spoolPolicy)
+	if o.compressed {
+		ca, err := report.Compressed[flowkey.FiveTuple](cfg, chaosShrink, flowkey.FiveTupleFromBytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		agent.SetCodec(ca)
+	}
 
 	n.Go(func() {
 		defer l.Close()
@@ -325,30 +349,38 @@ func TestChaosScenarios(t *testing.T) {
 		},
 	}
 
-	for _, sc := range scenarios {
-		for _, seed := range seeds {
-			t.Run(fmt.Sprintf("%s/seed=%d", sc.name, seed), func(t *testing.T) {
-				a := runChaos(t, seed, sc.opts)
-				b := runChaos(t, seed, sc.opts)
-				if !reflect.DeepEqual(a.transcript, b.transcript) {
-					t.Errorf("same seed, diverging transcripts:\nrun A (%d events)\nrun B (%d events)",
-						len(a.transcript), len(b.transcript))
-				}
-				if !reflect.DeepEqual(a.agentC, b.agentC) || !reflect.DeepEqual(a.agentG, b.agentG) {
-					t.Error("same seed, diverging agent telemetry")
-				}
-				if !reflect.DeepEqual(a.collC, b.collC) || !reflect.DeepEqual(a.collG, b.collG) {
-					t.Error("same seed, diverging collector telemetry")
-				}
-				if !reflect.DeepEqual(a.epochTables, b.epochTables) {
-					t.Error("same seed, diverging decoded tables")
-				}
-				if a.elapsed != b.elapsed {
-					t.Errorf("same seed, diverging virtual time: %v vs %v", a.elapsed, b.elapsed)
-				}
-				checkLedger(t, a)
-				sc.check(t, a)
-			})
+	codecs := []struct {
+		name       string
+		compressed bool
+	}{{"full", false}, {"compressed", true}}
+	for _, codec := range codecs {
+		for _, sc := range scenarios {
+			for _, seed := range seeds {
+				opts := sc.opts
+				opts.compressed = codec.compressed
+				t.Run(fmt.Sprintf("%s/%s/seed=%d", codec.name, sc.name, seed), func(t *testing.T) {
+					a := runChaos(t, seed, opts)
+					b := runChaos(t, seed, opts)
+					if !reflect.DeepEqual(a.transcript, b.transcript) {
+						t.Errorf("same seed, diverging transcripts:\nrun A (%d events)\nrun B (%d events)",
+							len(a.transcript), len(b.transcript))
+					}
+					if !reflect.DeepEqual(a.agentC, b.agentC) || !reflect.DeepEqual(a.agentG, b.agentG) {
+						t.Error("same seed, diverging agent telemetry")
+					}
+					if !reflect.DeepEqual(a.collC, b.collC) || !reflect.DeepEqual(a.collG, b.collG) {
+						t.Error("same seed, diverging collector telemetry")
+					}
+					if !reflect.DeepEqual(a.epochTables, b.epochTables) {
+						t.Error("same seed, diverging decoded tables")
+					}
+					if a.elapsed != b.elapsed {
+						t.Errorf("same seed, diverging virtual time: %v vs %v", a.elapsed, b.elapsed)
+					}
+					checkLedger(t, a)
+					sc.check(t, a)
+				})
+			}
 		}
 	}
 }

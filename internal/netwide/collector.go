@@ -11,6 +11,7 @@ import (
 	"cocosketch/internal/core"
 	"cocosketch/internal/flowkey"
 	"cocosketch/internal/query"
+	"cocosketch/internal/report"
 	"cocosketch/internal/telemetry"
 )
 
@@ -33,7 +34,11 @@ type Collector struct {
 	idleTimeout time.Duration
 	spawn       func(func())
 
-	mu         sync.Mutex
+	mu sync.Mutex
+	// decoder reconstructs report payloads; it holds per-agent delta
+	// base state for the compressed codec and is therefore driven
+	// under mu (Decoder implementations are not concurrency-safe).
+	decoder    report.Decoder[flowkey.FiveTuple]
 	epochs     map[uint32]*core.Basic[flowkey.FiveTuple]
 	reported   map[uint32]map[uint16]bool
 	agents     map[uint16]AgentStatus
@@ -63,6 +68,12 @@ type collectorTel struct {
 	dupReports  *telemetry.Counter
 	// mergeErrors counts reports rejected by an incompatible merge.
 	mergeErrors *telemetry.Counter
+	// decodeFailures counts report payloads the decoder rejected;
+	// baseMismatches the subset rejected because a compressed delta's
+	// base did not match the last acknowledged stage (the agent
+	// recovers with a self-contained retry — see internal/report).
+	decodeFailures *telemetry.Counter
+	baseMismatches *telemetry.Counter
 	// conns tracks live agent connections; epochsTracked the epochs
 	// held in memory; agentsSeen the distinct agents ever heard from;
 	// latestEpoch the freshest epoch with data.
@@ -80,15 +91,17 @@ type collectorTel struct {
 // collector for chaining.
 func (c *Collector) SetTelemetry(r *telemetry.Registry) *Collector {
 	c.tel = collectorTel{
-		reportsRecv:   r.Counter("netwide.reports_received"),
-		recvBytes:     r.Counter("netwide.recv_bytes"),
-		dupReports:    r.Counter("netwide.dup_reports"),
-		mergeErrors:   r.Counter("netwide.merge_errors"),
-		conns:         r.Gauge("netwide.agent_conns"),
-		epochsTracked: r.Gauge("netwide.epochs_tracked"),
-		agentsSeen:    r.Gauge("netwide.agents_seen"),
-		latestEpoch:   r.Gauge("netwide.latest_epoch"),
-		staleServes:   r.Counter("netwide.stale_serves"),
+		reportsRecv:    r.Counter("netwide.reports_received"),
+		recvBytes:      r.Counter("netwide.recv_bytes"),
+		dupReports:     r.Counter("netwide.dup_reports"),
+		mergeErrors:    r.Counter("netwide.merge_errors"),
+		decodeFailures: r.Counter("netwide.decode_failures"),
+		baseMismatches: r.Counter("netwide.base_mismatches"),
+		conns:          r.Gauge("netwide.agent_conns"),
+		epochsTracked:  r.Gauge("netwide.epochs_tracked"),
+		agentsSeen:     r.Gauge("netwide.agents_seen"),
+		latestEpoch:    r.Gauge("netwide.latest_epoch"),
+		staleServes:    r.Counter("netwide.stale_serves"),
 	}
 	return c
 }
@@ -120,16 +133,33 @@ func (c *Collector) SetSpawn(spawn func(func())) *Collector {
 }
 
 // NewCollector creates a collector expecting sketches of the given
-// shared configuration, on the system clock, with no idle timeout.
+// shared configuration, on the system clock, with no idle timeout,
+// decoding reports with the full-snapshot codec (the compatible
+// default; see SetCodec).
 func NewCollector(cfg core.Config) *Collector {
 	return &Collector{
 		cfg:      cfg,
 		clock:    SystemClock,
 		spawn:    func(fn func()) { go fn() },
+		decoder:  report.Full[flowkey.FiveTuple](flowkey.FiveTupleFromBytes).NewDecoder(),
 		epochs:   make(map[uint32]*core.Basic[flowkey.FiveTuple]),
 		reported: make(map[uint32]map[uint16]bool),
 		agents:   make(map[uint16]AgentStatus),
 	}
+}
+
+// SetCodec selects the codec whose decoder parses incoming report
+// payloads (default report.Full — exactly the pre-codec behavior, and
+// strict: compressed payloads are rejected). A report.Compressed
+// collector also accepts full snapshots, so it can serve a mixed
+// fleet; DESIGN.md §14 has the compatibility matrix. Call before
+// Serve: the decoder holds per-agent delta state and is replaced, not
+// merged. Returns the collector for chaining.
+func (c *Collector) SetCodec(codec report.Codec[flowkey.FiveTuple]) *Collector {
+	c.mu.Lock()
+	c.decoder = codec.NewDecoder()
+	c.mu.Unlock()
+	return c
 }
 
 // Serve accepts agent connections until the listener closes. Each
@@ -186,11 +216,13 @@ func (c *Collector) Handle(conn net.Conn) error {
 }
 
 // ingest merges one reported sketch into its epoch aggregate.
+//
+// Ordering matters: the duplicate check runs before the decode. A
+// retry after a lost acknowledgement arrives when the decoder's delta
+// base has already advanced past the retried payload's base, so
+// decoding it would fail — acknowledging known (epoch, agent) pairs
+// without decoding is what makes retries idempotent under every codec.
 func (c *Collector) ingest(msg Message) error {
-	shard, err := core.UnmarshalBasic(msg.Payload, flowkey.FiveTupleFromBytes)
-	if err != nil {
-		return err
-	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	st := c.agents[msg.AgentID]
@@ -205,6 +237,14 @@ func (c *Collector) ingest(msg Message) error {
 		// Duplicate report (agent retry after lost ack): ignore.
 		c.tel.dupReports.Inc()
 		return nil
+	}
+	shard, err := c.decoder.Decode(msg.AgentID, msg.Epoch, msg.Payload)
+	if err != nil {
+		if errors.Is(err, report.ErrBaseMismatch) {
+			c.tel.baseMismatches.Inc()
+		}
+		c.tel.decodeFailures.Inc()
+		return fmt.Errorf("netwide: agent %d epoch %d: %w", msg.AgentID, msg.Epoch, err)
 	}
 	agg, ok := c.epochs[msg.Epoch]
 	if !ok {

@@ -10,6 +10,14 @@
 // diagnosis without pre-declared keys), built from the repository's own
 // primitives: core serialization, core merging and a small
 // length-prefixed wire protocol.
+//
+// Epoch reports go through a pluggable codec (internal/report): the
+// default Full codec ships bit-identical sketch snapshots, while the
+// Compressed codec keeps the fat sketch on the agent and ships a
+// shrunken, delta-encoded stage per epoch — roughly an order of
+// magnitude fewer report bytes (wire format in DESIGN.md §14). Both
+// Agent and Collector select a codec with SetCodec; the spool, the
+// retry path and the conservation ledger are codec-aware throughout.
 package netwide
 
 import (
@@ -23,8 +31,10 @@ import (
 //
 //	type u8 | epoch u32 | agentID u16 | length u32 | payload [length]byte
 //
-// little-endian. Payload of MsgSketch is a core.(*Basic).MarshalBinary
-// blob.
+// little-endian. Payload of MsgSketch is an epoch report sealed by the
+// agent's codec: a core.(*Basic).MarshalBinary snapshot ("COCO" magic)
+// under the full codec, or a CRPT compressed report (internal/report,
+// DESIGN.md §14) under the compressed codec.
 const (
 	// MsgSketch carries one agent's epoch sketch.
 	MsgSketch = 1

@@ -1,0 +1,193 @@
+package oracle
+
+import (
+	"bytes"
+	"testing"
+
+	"cocosketch/internal/core"
+	"cocosketch/internal/flowkey"
+	"cocosketch/internal/report"
+	"cocosketch/internal/trace"
+)
+
+// Report-pipeline differential gates: the compressed epoch-report path
+// (seal a shrunk stage, encode, decode at the collector) must keep the
+// decoded tables inside the harness CI bounds in every traffic regime
+// while spending at least 5× fewer bytes than full snapshots, and the
+// full codec must remain a bit-identical pass-through.
+
+// reportShrink is the stage shrink factor under test; at the harness
+// geometry (l = 512) it is the smallest power of two that clears the
+// 5× byte floor with margin.
+const reportShrink = 8
+
+// cocoCompressedReportImpl replays each trial into a fat sketch, then
+// ships it through the compressed report codec — seal, encode
+// (self-contained), decode — and answers queries from the *decoded*
+// stage, exactly what a collector serves. Byte totals accumulate into
+// rawBytes/wireBytes across trials.
+func cocoCompressedReportImpl(rawBytes, wireBytes *uint64) Impl {
+	return Impl{
+		Name: "coco-compressed-report",
+		New: func(seed uint64) Instance {
+			cfg := cocoCfg(seed)
+			codec, err := report.Compressed[flowkey.FiveTuple](cfg, reportShrink, flowkey.FiveTupleFromBytes)
+			if err != nil {
+				panic(err)
+			}
+			s := core.NewBasic[flowkey.FiveTuple](cfg)
+			var table map[flowkey.FiveTuple]uint64
+			return &funcInstance{
+				insert: s.Insert,
+				close: func() {
+					stage, err := codec.Seal(s)
+					if err != nil {
+						panic(err)
+					}
+					blob, err := codec.NewEncoder().Encode(0, stage)
+					if err != nil {
+						panic(err)
+					}
+					decoded, err := codec.NewDecoder().Decode(1, 0, blob)
+					if err != nil {
+						panic(err)
+					}
+					*rawBytes += uint64(s.MarshaledSize())
+					*wireBytes += uint64(len(blob))
+					table = decoded.Decode()
+				},
+				table: func() map[flowkey.FiveTuple]uint64 { return table },
+			}
+		},
+		// The decoded stage is an l/shrink-bucket CocoSketch: still
+		// unbiased for every partial key (stage compression collapses
+		// bucket pairs with the same stochastic rule as insertion), with
+		// the subset-sum variance ceiling of the *small* geometry. The
+		// factor 2 covers the collapse rounds of compression itself, the
+		// same allowance TestMetamorphicMergeUnbiased grants a merge.
+		Contract: Contract{
+			Unbiased: true,
+			VarBound: func(o *Oracle, _ flowkey.Mask, f uint64) float64 {
+				return 2 * SubsetVarianceBound(f, o.Total(), harnessBuckets/reportShrink)
+			},
+			VarCeiling: func(o *Oracle, _ flowkey.Mask, f uint64) float64 {
+				return 2 * SubsetVarianceBound(f, o.Total(), harnessBuckets/reportShrink)
+			},
+			ConservesMass: true,
+		},
+	}
+}
+
+// TestReportCompressedPipelineMatrix runs the compressed report path
+// against the exact oracle over every regime: per-regime, the decoded
+// tables must satisfy the small-stage contract (unbiased, bounded
+// variance, exact mass) AND the wire bytes must undercut full
+// snapshots by at least 5×.
+func TestReportCompressedPipelineMatrix(t *testing.T) {
+	cfg := matrixConfig(t)
+	for _, reg := range Regimes() {
+		var raw, wire uint64
+		vs := RunMatrix([]Impl{cocoCompressedReportImpl(&raw, &wire)}, []Regime{reg}, cfg)
+		for _, v := range vs {
+			t.Errorf("%s", v)
+		}
+		if wire == 0 {
+			t.Fatalf("%s: no report bytes measured", reg.Name)
+		}
+		if raw < 5*wire {
+			t.Errorf("%s: compression ratio %.2f× below the 5× floor (%d raw, %d wire)",
+				reg.Name, float64(raw)/float64(wire), raw, wire)
+		}
+	}
+}
+
+// TestReportFullCodecBitIdentical is the regression gate for the
+// default codec: Seal must leave the sketch untouched and the payload
+// must be byte-for-byte MarshalBinary, in every regime, so switching
+// the report plumbing to the codec interface changed nothing for
+// deployments that keep -report-codec=full.
+func TestReportFullCodecBitIdentical(t *testing.T) {
+	codec := report.Full[flowkey.FiveTuple](flowkey.FiveTupleFromBytes)
+	for _, reg := range Regimes() {
+		tr := reg.Generate(6000, 0xF00D)
+		s := core.NewBasic[flowkey.FiveTuple](harnessCoreCfg(21))
+		for i := range tr.Packets {
+			s.Insert(tr.Packets[i].Key, 1)
+		}
+		want, err := s.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		stage, err := codec.Seal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob, err := codec.NewEncoder().Encode(0, stage)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(blob, want) {
+			t.Errorf("%s: full-codec payload is not bit-identical to MarshalBinary", reg.Name)
+		}
+		decoded, err := codec.NewDecoder().Decode(1, 0, blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := decoded.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s: full-codec decode is not bit-identical to the source sketch", reg.Name)
+		}
+	}
+}
+
+// TestReportDeltaLosslessAcrossEpochs replays a multi-epoch stream
+// (fresh sketch per epoch, persistent flow population) through the
+// delta-encoded compressed channel and checks the collector's decoded
+// stages are bit-identical to the agent-side sealed stages in every
+// epoch — compression saves bytes by exploiting cross-epoch key
+// stability, never by approximating the delivered stage.
+func TestReportDeltaLosslessAcrossEpochs(t *testing.T) {
+	cfg := harnessCoreCfg(31)
+	codec, err := report.Compressed[flowkey.FiveTuple](cfg, reportShrink, flowkey.FiveTupleFromBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := codec.NewEncoder()
+	dec := codec.NewDecoder()
+	const epochs = 5
+	tr := trace.CAIDALike(epochs*8_000, 0xE11A)
+	per := len(tr.Packets) / epochs
+	for e := 0; e < epochs; e++ {
+		s := core.NewBasic[flowkey.FiveTuple](cfg)
+		for _, p := range tr.Packets[e*per : (e+1)*per] {
+			s.Insert(p.Key, 1)
+		}
+		stage, err := codec.Seal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob, err := enc.Encode(uint32(e), stage)
+		if err != nil {
+			t.Fatal(err)
+		}
+		decoded, err := dec.Decode(1, uint32(e), blob)
+		if err != nil {
+			t.Fatalf("epoch %d: %v", e, err)
+		}
+		want, err := stage.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := decoded.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("epoch %d: decoded stage differs from sealed stage", e)
+		}
+		enc.Ack(uint32(e), stage)
+	}
+}

@@ -1,0 +1,90 @@
+package report
+
+import (
+	"math/rand"
+	"testing"
+
+	"cocosketch/internal/core"
+	"cocosketch/internal/flowkey"
+)
+
+// benchCfg matches the oracle harness geometry, so the numbers here
+// describe the same sketches the accuracy gates measure.
+var benchCfg = core.Config{Arrays: 2, BucketsPerArray: 512, Seed: 0xBE}
+
+// benchSketch fills a fat sketch with one epoch of skewed traffic.
+func benchSketch(b *testing.B, seed int64) *core.Basic[flowkey.FiveTuple] {
+	b.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	s := core.NewBasic[flowkey.FiveTuple](benchCfg)
+	for i := 0; i < 50_000; i++ {
+		s.Insert(key(uint32(rng.Intn(2000)), uint16(rng.Intn(30))), uint64(1+rng.Intn(3)))
+	}
+	return s
+}
+
+// BenchmarkReportEncode compares sealing+encoding one epoch report
+// under both codecs: the full snapshot against the shrink-8 compressed
+// self-contained stage.
+func BenchmarkReportEncode(b *testing.B) {
+	fat := benchSketch(b, 1)
+	full := Full[flowkey.FiveTuple](flowkey.FiveTupleFromBytes)
+	compressed, err := Compressed[flowkey.FiveTuple](benchCfg, 8, flowkey.FiveTupleFromBytes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bc := range []struct {
+		name  string
+		codec Codec[flowkey.FiveTuple]
+	}{{"encode-full", full}, {"encode-compressed", compressed}} {
+		b.Run(bc.name, func(b *testing.B) {
+			stage, err := bc.codec.Seal(fat)
+			if err != nil {
+				b.Fatal(err)
+			}
+			enc := bc.codec.NewEncoder()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := enc.Encode(0, stage); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkReportDecode compares collector-side decode throughput: the
+// full snapshot deserializer against the compressed decoder (varint
+// parse, invertibility verification, base bookkeeping) on a
+// self-contained payload. `make bench-report` gates the ratio.
+func BenchmarkReportDecode(b *testing.B) {
+	fat := benchSketch(b, 2)
+	full := Full[flowkey.FiveTuple](flowkey.FiveTupleFromBytes)
+	compressed, err := Compressed[flowkey.FiveTuple](benchCfg, 8, flowkey.FiveTupleFromBytes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bc := range []struct {
+		name  string
+		codec Codec[flowkey.FiveTuple]
+	}{{"decode-full", full}, {"decode-compressed", compressed}} {
+		b.Run(bc.name, func(b *testing.B) {
+			stage, err := bc.codec.Seal(fat)
+			if err != nil {
+				b.Fatal(err)
+			}
+			payload, err := bc.codec.NewEncoder().Encode(0, stage)
+			if err != nil {
+				b.Fatal(err)
+			}
+			dec := bc.codec.NewDecoder()
+			b.SetBytes(int64(len(payload)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := dec.Decode(1, 0, payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,143 @@
+package report
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"cocosketch/internal/core"
+	"cocosketch/internal/flowkey"
+)
+
+// reportFuzzSeeds builds the adversarial seed payloads shared by the
+// inline FuzzCompressedDecode corpus and the committed on-disk one:
+// valid self-contained and delta payloads (so mutations start from
+// parseable state), a truncated header, a corrupt dictionary count,
+// and a delta whose counter arithmetic wraps.
+func reportFuzzSeeds(tb testing.TB) map[string][]byte {
+	tb.Helper()
+	codec, base := fuzzBasePayload(tb)
+	dec := codec.NewDecoder()
+	stage0, err := dec.Decode(1, 0, base)
+	if err != nil {
+		tb.Fatal(err)
+	}
+
+	fat1 := core.NewBasic[flowkey.FiveTuple](fuzzCfg)
+	for i := 0; i < 500; i++ {
+		fat1.Insert(key(uint32(i%20), 80), uint64(1+i%2))
+	}
+	stage1, err := codec.Seal(fat1)
+	if err != nil {
+		tb.Fatal(err)
+	}
+
+	selfContained, err := codec.NewEncoder().Encode(1, stage1)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	enc := codec.NewEncoder()
+	enc.Ack(0, stage0)
+	delta, err := enc.Encode(1, stage1)
+	if err != nil {
+		tb.Fatal(err)
+	}
+
+	corrupt := append([]byte{}, selfContained...)
+	corrupt[crptHeaderSize] = 0xFF // dictionary count varint continues...
+	corrupt[crptHeaderSize+1] = 0x7F
+
+	return map[string][]byte{
+		"valid-self-contained": selfContained,
+		"valid-delta":          delta,
+		"truncated-header":     selfContained[:12],
+		"corrupt-dictionary":   corrupt,
+		"counter-overflow":     overflowDelta(tb, stage0),
+	}
+}
+
+// overflowDelta hand-assembles a CRPT delta against stage0 whose one
+// entry applies a MinInt64 counter delta — valid framing, wrapping
+// arithmetic — to pin the decoder's overflow guard.
+func overflowDelta(tb testing.TB, stage0 *core.Basic[flowkey.FiveTuple]) []byte {
+	tb.Helper()
+	l := stage0.BucketsPerArray()
+	buckets := stage0.Buckets()
+	j := -1
+	for idx := 0; idx < l; idx++ {
+		if buckets[idx].Val != 0 {
+			j = idx
+			break
+		}
+	}
+	if j < 0 {
+		tb.Fatal("base stage has an empty first array")
+	}
+	out := []byte(crptMagic)
+	out = append(out, crptVersion, flagDelta, 1, flowkey.FiveTupleLen)
+	out = binary.LittleEndian.AppendUint16(out, uint16(stage0.Arrays()))
+	out = binary.LittleEndian.AppendUint32(out, uint32(l))
+	out = binary.LittleEndian.AppendUint32(out, 1)                // epoch
+	out = binary.LittleEndian.AppendUint32(out, 0)                // base epoch
+	out = binary.LittleEndian.AppendUint64(out, stageSum(stage0)) // base checksum
+	out = binary.LittleEndian.AppendUint64(out, 0)                // rng state
+	out = binary.LittleEndian.AppendUint64(out, 0)                // claimed mass
+	out = binary.AppendUvarint(out, 0)                            // empty dictionary
+	out = binary.AppendUvarint(out, 1)                            // array 0: one entry
+	out = binary.AppendUvarint(out, uint64(j))
+	out = binary.AppendUvarint(out, 0) // ref 0: base key
+	out = binary.AppendVarint(out, math.MinInt64)
+	for i := 1; i < stage0.Arrays(); i++ {
+		out = binary.AppendUvarint(out, 0)
+	}
+	return out
+}
+
+// TestReportFuzzSeedsClassified pins each seed to its intended decoder
+// verdict, so a format change that silently legalizes an adversarial
+// seed fails loudly.
+func TestReportFuzzSeedsClassified(t *testing.T) {
+	codec, base := fuzzBasePayload(t)
+	seeds := reportFuzzSeeds(t)
+	for name, want := range map[string]bool{
+		"valid-self-contained": true,
+		"valid-delta":          true,
+		"truncated-header":     false,
+		"corrupt-dictionary":   false,
+		"counter-overflow":     false,
+	} {
+		dec := codec.NewDecoder()
+		if _, err := dec.Decode(1, 0, base); err != nil {
+			t.Fatal(err)
+		}
+		_, err := dec.Decode(1, 1, seeds[name])
+		if ok := err == nil; ok != want {
+			t.Errorf("%s: decode error %v, want accepted=%v", name, err, want)
+		}
+	}
+}
+
+// TestRegenReportFuzzCorpus rewrites the committed seed corpus under
+// testdata/fuzz/FuzzCompressedDecode from reportFuzzSeeds. It is a
+// generator, not a check: it only runs when REGEN_FUZZ_CORPUS=1 is
+// set, so the committed corpus stays stable unless regenerated
+// deliberately.
+func TestRegenReportFuzzCorpus(t *testing.T) {
+	if os.Getenv("REGEN_FUZZ_CORPUS") != "1" {
+		t.Skip("set REGEN_FUZZ_CORPUS=1 to rewrite testdata/fuzz/FuzzCompressedDecode")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzCompressedDecode")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for name, payload := range reportFuzzSeeds(t) {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.Quote(string(payload)))
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

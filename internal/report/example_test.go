@@ -1,0 +1,58 @@
+package report_test
+
+import (
+	"bytes"
+	"fmt"
+
+	"cocosketch/internal/core"
+	"cocosketch/internal/flowkey"
+	"cocosketch/internal/report"
+)
+
+// Example walks the compressed round trip by hand: seal a fat sketch
+// into a 1/8-size stage, ship epoch 0 self-contained, acknowledge it,
+// and watch epoch 1 — same flow population — go out as a small delta
+// that still decodes bit-identically. This is the exchange
+// `cocoagent -report-codec compressed -report-shrink 8` performs per
+// epoch.
+func Example() {
+	cfg := core.Config{Arrays: 2, BucketsPerArray: 256, Seed: 9}
+	codec, err := report.Compressed[flowkey.FiveTuple](cfg, 8, flowkey.FiveTupleFromBytes)
+	if err != nil {
+		panic(err)
+	}
+	enc := codec.NewEncoder()
+	dec := codec.NewDecoder()
+
+	epoch := func(e uint32) []byte {
+		fat := core.NewBasic[flowkey.FiveTuple](cfg)
+		for i := 0; i < 20_000; i++ {
+			fat.Insert(flowkey.FiveTuple{SrcPort: uint16(i % 300), DstPort: 443, Proto: 6}, 1)
+		}
+		stage, err := codec.Seal(fat)
+		if err != nil {
+			panic(err)
+		}
+		blob, err := enc.Encode(e, stage)
+		if err != nil {
+			panic(err)
+		}
+		decoded, err := dec.Decode(1, e, blob)
+		if err != nil {
+			panic(err)
+		}
+		want, _ := stage.MarshalBinary()
+		got, _ := decoded.MarshalBinary()
+		fmt.Printf("epoch %d: lossless=%v mass=%d\n", e, bytes.Equal(got, want), decoded.SumValues())
+		enc.Ack(e, stage) // a real agent acks only after the collector confirms
+		return blob
+	}
+
+	first := epoch(0)
+	second := epoch(1) // delta against the acked epoch 0
+	fmt.Println("delta is smaller:", len(second) < len(first)/4)
+	// Output:
+	// epoch 0: lossless=true mass=20000
+	// epoch 1: lossless=true mass=20000
+	// delta is smaller: true
+}
