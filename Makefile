@@ -11,20 +11,24 @@ test:
 	$(GO) test -shuffle=on ./...
 
 # Race-check the concurrent packages (SPSC ring + pipeline, sharded
-# ingest engine, network-wide merge workers, telemetry instruments),
-# then the seeded chaos suite (deterministic fault injection exercises
-# the agent/collector concurrency paths hardest).
+# ingest engine, network-wide merge workers, cluster dispatcher, query
+# front-end against a live sealing loop, telemetry instruments), then
+# the seeded chaos suite (deterministic fault injection exercises the
+# agent/collector concurrency paths hardest).
 race:
-	$(GO) test -race -shuffle=on ./internal/ovs/... ./internal/core/... ./internal/netwide/... ./internal/shard/... ./internal/telemetry/... ./internal/packet/... ./internal/pcap/...
+	$(GO) test -race -shuffle=on ./internal/ovs/... ./internal/core/... ./internal/netwide/... ./internal/shard/... ./internal/cluster/... ./internal/query/... ./internal/telemetry/... ./internal/packet/... ./internal/pcap/...
 	$(MAKE) chaos
 
 # Seeded chaos simulation: the faultnet scenarios (latency, drops,
-# partial writes, resets, bandwidth caps, partitions) plus the
-# differential chaos gates against the exact oracle, under the race
-# detector. Every fault schedule derives from a fixed seed, so a pass
-# here is reproducible, not lucky.
+# partial writes, resets, bandwidth caps, partitions), the differential
+# chaos gates against the exact oracle, and the cluster chaos suite
+# (collectors killed/revived/partitioned behind the Maglev dispatcher,
+# cluster-wide conservation ledger + decode equality, bit-identical
+# across two replays per seed), all under the race detector with
+# shuffled test order. Every fault schedule derives from a fixed seed,
+# so a pass here is reproducible, not lucky.
 chaos:
-	$(GO) test -race -count=1 -run 'Chaos' ./internal/netwide/ ./internal/oracle/
+	$(GO) test -race -count=1 -shuffle=on -run 'Chaos' ./internal/netwide/ ./internal/oracle/ ./internal/cluster/
 
 # Documentation gate: go vet plus the doc-comment linter (fails on any
 # package or exported identifier missing a doc comment).

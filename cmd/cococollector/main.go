@@ -13,9 +13,21 @@
 // /debug/pprof/. With -idle-timeout a connection whose agent goes
 // silent is dropped instead of holding its handler goroutine forever.
 //
+// With -cluster the process runs as a Maglev dispatcher instead of a
+// collector: agents keep pointing their -collector flag at it, and it
+// consistently shards each (agent, epoch) report across the backend
+// collectors named by -peers, health-checking them on -health-interval
+// and failing over transparently when one dies (DESIGN.md §15). The
+// backends are ordinary cococollector processes — no extra flags;
+// each holds a partial per-epoch view, and the cluster-wide decode is
+// the canonical fold of their shards (internal/cluster). Codec and
+// sketch-geometry flags are irrelevant to a dispatcher, which relays
+// report frames without decoding them.
+//
 // Usage:
 //
 //	cococollector -listen 127.0.0.1:7700 -keys SrcIP,DstIP+DstPort
+//	cococollector -cluster -listen 127.0.0.1:7700 -peers 127.0.0.1:7710,127.0.0.1:7711
 package main
 
 import (
@@ -27,6 +39,7 @@ import (
 	"strings"
 	"time"
 
+	"cocosketch/internal/cluster"
 	"cocosketch/internal/core"
 	"cocosketch/internal/flowkey"
 	"cocosketch/internal/netwide"
@@ -59,6 +72,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		telAddr   = fs.String("telemetry", "", "serve /debug/vars and /debug/pprof on this address (off when empty)")
 		idleTO    = fs.Duration("idle-timeout", 0, "drop an agent connection after this much silence, freeing its handler (0 = never)")
 		codecName = fs.String("report-codec", "full", "report codec to accept: full (snapshots only, compatible default) or compressed (two-stage delta reports, DESIGN.md §14; also accepts full snapshots)")
+		clusterOn = fs.Bool("cluster", false, "run as a Maglev dispatcher sharding reports across the -peers backend collectors instead of collecting locally")
+		peers     = fs.String("peers", "", "comma-separated backend collector addresses (required with -cluster)")
+		healthIv  = fs.Duration("health-interval", cluster.DefaultProbeInterval, "backend health-probe cadence in -cluster mode")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -73,6 +89,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		fmt.Fprintf(stdout, "telemetry: listening on %s\n", addr)
+	}
+
+	if *clusterOn {
+		return runDispatcher(*listen, *peers, *healthIv, reg, stdout, stderr)
 	}
 
 	var masks []flowkey.Mask
@@ -138,4 +158,41 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		epoch++
 	}
+}
+
+// runDispatcher is the -cluster mode: terminate agent connections on
+// the listen address and shard each report across the peer collectors
+// through the Maglev table, with active health checking and
+// transparent failover. Blocks until the process is killed.
+func runDispatcher(listen, peers string, healthIv time.Duration, reg *telemetry.Registry, stdout, stderr io.Writer) int {
+	var backends []string
+	for _, p := range strings.Split(peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			backends = append(backends, p)
+		}
+	}
+	if len(backends) == 0 {
+		fmt.Fprintln(stderr, "cococollector: -cluster requires -peers (comma-separated backend addresses)")
+		return 2
+	}
+	d, err := cluster.NewDispatcher(backends)
+	if err != nil {
+		fmt.Fprintf(stderr, "cococollector: %v\n", err)
+		return 2
+	}
+	d.SetTelemetry(reg).SetHealth(healthIv, cluster.DefaultDownAfter, cluster.DefaultUpAfter)
+	l, err := net.Listen("tcp", listen)
+	if err != nil {
+		fmt.Fprintf(stderr, "cococollector: %v\n", err)
+		return 1
+	}
+	defer l.Close()
+	defer d.Close()
+	fmt.Fprintf(stdout, "dispatching on %s across %d backends (%s)\n",
+		l.Addr(), len(backends), strings.Join(d.Table().Backends(), ", "))
+	if err := d.Serve(l); err != nil {
+		fmt.Fprintf(stderr, "cococollector: dispatch: %v\n", err)
+		return 1
+	}
+	return 0
 }

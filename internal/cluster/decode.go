@@ -1,0 +1,74 @@
+package cluster
+
+import (
+	"sort"
+
+	"cocosketch/internal/core"
+	"cocosketch/internal/flowkey"
+	"cocosketch/internal/netwide"
+	"cocosketch/internal/query"
+)
+
+// Cluster-wide decode: each backend collector retains per-agent
+// shards (netwide.Collector.EpochShards); the cluster view of an
+// epoch is the union of those shard sets folded in the same canonical
+// agent-ID order a single collector uses. Because the fold is a pure
+// function of the shard SET — not of which backend held each shard or
+// in what order reports arrived — the cluster decode is bit-identical
+// to the single-collector decode of the same reports, which is the
+// tentpole invariant the chaos suite pins.
+
+// GatherEpoch unions the per-agent shards an epoch left across
+// backend collectors. A shard duplicated across backends (an agent
+// retried after a failover ate the acknowledgement) dedups by agent
+// ID: sealing is deterministic, so both copies describe the identical
+// stage and the earlier collector's copy wins arbitrarily but
+// harmlessly. ok is false when no backend holds the epoch.
+func GatherEpoch(epoch uint32, backends ...*netwide.Collector) (map[uint16]*core.Basic[flowkey.FiveTuple], bool) {
+	union := make(map[uint16]*core.Basic[flowkey.FiveTuple])
+	for _, c := range backends {
+		shards, ok := c.EpochShards(epoch)
+		if !ok {
+			continue
+		}
+		for agent, s := range shards {
+			if _, dup := union[agent]; !dup {
+				union[agent] = s
+			}
+		}
+	}
+	if len(union) == 0 {
+		return nil, false
+	}
+	return union, true
+}
+
+// DecodeEpoch folds one epoch's shards from every backend into the
+// network-wide table and returns a query engine over it, exactly as
+// netwide.Collector.Epoch does for a single collector — and with the
+// identical result: same shards in, same canonical fold, same table
+// out, regardless of how the dispatcher scattered the reports. ok is
+// false when no backend holds the epoch.
+func DecodeEpoch(epoch uint32, backends ...*netwide.Collector) (*query.Engine, bool) {
+	union, ok := GatherEpoch(epoch, backends...)
+	if !ok {
+		return nil, false
+	}
+	return query.NewEngine(netwide.FoldShards(union).Decode()), true
+}
+
+// Epochs returns the sorted union of epochs held by any backend.
+func Epochs(backends ...*netwide.Collector) []uint32 {
+	seen := make(map[uint32]bool)
+	for _, c := range backends {
+		for _, e := range c.Epochs() {
+			seen[e] = true
+		}
+	}
+	out := make([]uint32, 0, len(seen))
+	for e := range seen {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

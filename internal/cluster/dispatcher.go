@@ -1,0 +1,413 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"cocosketch/internal/netwide"
+	"cocosketch/internal/telemetry"
+)
+
+// DefaultProbeInterval paces the active health checker. 900ms is
+// deliberately NOT a divisor or multiple of typical epoch cadences, so
+// in the virtual-clock chaos runs probe instants never tie with
+// report instants (ties would make transcript interleaving depend on
+// goroutine scheduling).
+const DefaultProbeInterval = 900 * time.Millisecond
+
+// DefaultDownAfter and DefaultUpAfter are the health-check hysteresis
+// thresholds: consecutive probe failures before a backend is marked
+// down, and consecutive successes before it is restored. Down also
+// happens immediately on a forwarding error (failing fast on real
+// traffic); restoring always waits for UpAfter clean probes.
+const (
+	DefaultDownAfter = 2
+	DefaultUpAfter   = 2
+)
+
+// ErrNoBackends is returned when a report cannot be forwarded because
+// every backend is marked down.
+var ErrNoBackends = errors.New("cluster: no alive backend")
+
+// Dispatcher terminates agent connections and forwards each epoch
+// report to the collector backend the Maglev table routes it to,
+// relaying the backend's acknowledgement to the agent. Failures fail
+// over transparently within one exchange: a forwarding error marks
+// the backend down, rebuilds the table, and retries the survivors, so
+// an agent's epoch stream survives a backend death mid-run without
+// the agent even redialing. A background prober (started by Serve)
+// marks unreachable backends down and restores them after UpAfter
+// consecutive clean probes.
+//
+// Routing is a pure function of the (backend set, down set) pair —
+// see Table — so every replay of a deterministic workload forwards
+// identically, which is what the chaos suite pins.
+type Dispatcher struct {
+	table    *Table // immutable snapshot, swapped under mu
+	clock    netwide.Clock
+	spawn    func(func())
+	dial     func(addr string) (net.Conn, error)
+	probe    func(addr string) error
+	interval time.Duration
+	downN    int
+	upN      int
+	fwdTO    time.Duration
+	tel      dispatcherTel
+
+	mu       sync.Mutex
+	backends map[string]*backendConn
+	last     map[uint16]string // agent → backend of its last forwarded report
+	closed   bool
+}
+
+// dispatcherTel groups the dispatcher's instruments (nil-safe).
+type dispatcherTel struct {
+	// forwards counts reports relayed with an acknowledged backend
+	// exchange; forwardErrors failed backend exchanges (each also
+	// marks the backend down); failovers reports that needed more than
+	// one backend attempt; agentMoves reports routed to a different
+	// backend than the same agent's previous report (rebalances and
+	// epoch striping both count).
+	forwards      *telemetry.Counter
+	forwardErrors *telemetry.Counter
+	failovers     *telemetry.Counter
+	agentMoves    *telemetry.Counter
+	// backendDown / backendUp count health transitions; rebalances
+	// table swaps (= down + up). backendsAlive gauges the alive set;
+	// agentConns the live agent connections.
+	backendDown   *telemetry.Counter
+	backendUp     *telemetry.Counter
+	rebalances    *telemetry.Counter
+	backendsAlive *telemetry.Gauge
+	agentConns    *telemetry.Gauge
+}
+
+// NewDispatcher builds a dispatcher over the given backend addresses
+// with every backend initially alive, dialing real TCP, probing by
+// dial-and-close, on the system clock, with the default probe
+// interval, hysteresis and table size. Tests swap the edges with the
+// Set* chain (SetDial, SetProbe, SetClock, SetSpawn).
+func NewDispatcher(backendAddrs []string) (*Dispatcher, error) {
+	t, err := NewTable(backendAddrs, DefaultTableSize)
+	if err != nil {
+		return nil, err
+	}
+	d := &Dispatcher{
+		table:    t,
+		clock:    netwide.SystemClock,
+		spawn:    func(fn func()) { go fn() },
+		dial:     func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) },
+		interval: DefaultProbeInterval,
+		downN:    DefaultDownAfter,
+		upN:      DefaultUpAfter,
+		backends: make(map[string]*backendConn),
+		last:     make(map[uint16]string),
+	}
+	d.probe = func(addr string) error {
+		c, err := d.dial(addr)
+		if err != nil {
+			return err
+		}
+		return c.Close()
+	}
+	for _, addr := range t.Backends() {
+		d.backends[addr] = &backendConn{}
+	}
+	return d, nil
+}
+
+// SetTelemetry registers the dispatcher's counters ("cluster."-
+// prefixed) on r; nil disables. Returns the dispatcher for chaining.
+func (d *Dispatcher) SetTelemetry(r *telemetry.Registry) *Dispatcher {
+	d.tel = dispatcherTel{
+		forwards:      r.Counter("cluster.forwards"),
+		forwardErrors: r.Counter("cluster.forward_errors"),
+		failovers:     r.Counter("cluster.failovers"),
+		agentMoves:    r.Counter("cluster.agent_moves"),
+		backendDown:   r.Counter("cluster.backend_down"),
+		backendUp:     r.Counter("cluster.backend_up"),
+		rebalances:    r.Counter("cluster.rebalances"),
+		backendsAlive: r.Gauge("cluster.backends_alive"),
+		agentConns:    r.Gauge("cluster.agent_conns"),
+	}
+	d.tel.backendsAlive.Set(int64(len(d.table.Alive())))
+	return d
+}
+
+// SetClock replaces the time source (probe pacing, forward deadlines);
+// the chaos suite installs faultnet's virtual clock. Returns the
+// dispatcher for chaining.
+func (d *Dispatcher) SetClock(c netwide.Clock) *Dispatcher {
+	d.clock = c
+	return d
+}
+
+// SetSpawn replaces the goroutine spawner used for agent handlers and
+// the prober (default: the go statement); faultnet tests install
+// Network.Go. Returns the dispatcher for chaining.
+func (d *Dispatcher) SetSpawn(spawn func(func())) *Dispatcher {
+	d.spawn = spawn
+	return d
+}
+
+// SetDial replaces how backend connections are dialed (chaos tests
+// install faultnet dials). Returns the dispatcher for chaining.
+func (d *Dispatcher) SetDial(dial func(addr string) (net.Conn, error)) *Dispatcher {
+	d.dial = dial
+	return d
+}
+
+// SetProbe replaces the health probe (default: dial and close; chaos
+// tests install faultnet.Network.Probe, which checks reachability
+// without creating a connection). Returns the dispatcher for chaining.
+func (d *Dispatcher) SetProbe(probe func(addr string) error) *Dispatcher {
+	d.probe = probe
+	return d
+}
+
+// SetHealth tunes the prober: probe cadence and the consecutive-
+// failure / consecutive-success thresholds for marking a backend down
+// and restoring it. Returns the dispatcher for chaining.
+func (d *Dispatcher) SetHealth(interval time.Duration, downAfter, upAfter int) *Dispatcher {
+	d.interval = interval
+	d.downN = downAfter
+	d.upN = upAfter
+	return d
+}
+
+// SetForwardTimeout bounds each backend exchange (write report, await
+// ack); zero disables. Returns the dispatcher for chaining.
+func (d *Dispatcher) SetForwardTimeout(to time.Duration) *Dispatcher {
+	d.fwdTO = to
+	return d
+}
+
+// Table returns the current routing table snapshot.
+func (d *Dispatcher) Table() *Table {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.table
+}
+
+// Healthy returns the sorted alive backend set.
+func (d *Dispatcher) Healthy() []string { return d.Table().Alive() }
+
+// Route returns the backend the current table assigns to an (agent,
+// epoch) report; ok is false when every backend is down.
+func (d *Dispatcher) Route(agent uint16, epoch uint32) (string, bool) {
+	return d.Table().Lookup(EpochKey(agent, epoch))
+}
+
+// Serve accepts agent connections until the listener closes, handling
+// each on its own spawned goroutine, and runs the health prober in
+// the background for the duration. Close stops the prober.
+func (d *Dispatcher) Serve(l net.Listener) error {
+	d.spawn(func() { d.probeLoop() })
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		d.tel.agentConns.Add(1)
+		d.spawn(func() {
+			defer d.tel.agentConns.Add(-1)
+			defer conn.Close()
+			_ = d.Handle(conn)
+		})
+	}
+}
+
+// Close stops the prober (after its current sleep) and closes all
+// cached backend connections. Agent connections are left to their
+// handlers.
+func (d *Dispatcher) Close() error {
+	d.mu.Lock()
+	d.closed = true
+	conns := make([]*backendConn, 0, len(d.backends))
+	for _, bc := range d.backends {
+		conns = append(conns, bc)
+	}
+	d.mu.Unlock()
+	for _, bc := range conns {
+		bc.close()
+	}
+	return nil
+}
+
+// Handle relays one agent connection: each sketch report is forwarded
+// to its routed backend (failing over as needed) and the backend's
+// acknowledgement is written back to the agent. Non-sketch messages
+// and forwarding failures terminate the connection — the agent's
+// spool-and-redial hardening treats that like any collector error.
+func (d *Dispatcher) Handle(conn net.Conn) error {
+	for {
+		msg, err := netwide.ReadMessage(conn)
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		if msg.Type != netwide.MsgSketch {
+			return fmt.Errorf("cluster: unexpected message type %d", msg.Type)
+		}
+		if err := d.forward(msg); err != nil {
+			return err
+		}
+		if err := netwide.WriteMessage(conn, netwide.Message{Type: netwide.MsgAck, Epoch: msg.Epoch}); err != nil {
+			return err
+		}
+	}
+}
+
+// forward delivers one report to its routed backend, failing over
+// through the survivors on error. Every attempt that fails marks that
+// backend down and rebuilds the table, so the retry within THIS
+// exchange already routes around the corpse — the agent never sees
+// the failure unless the whole cluster is gone. Attempts are capped at
+// the backend count: each failure removes its target from the routing
+// table, so more tries could only revisit a backend the prober revived
+// mid-exchange, and an unbounded loop could then outlast the agent's
+// own report timeout (N × forward timeout is the hard bound callers
+// can size that timeout against).
+func (d *Dispatcher) forward(msg netwide.Message) error {
+	var lastErr error
+	max := len(d.Table().Backends())
+	for attempt := 0; attempt < max; attempt++ {
+		addr, ok := d.Route(msg.AgentID, msg.Epoch)
+		if !ok {
+			break
+		}
+		err := d.exchange(addr, msg)
+		if err == nil {
+			if attempt > 0 {
+				d.tel.failovers.Inc()
+			}
+			d.noteDelivery(msg.AgentID, addr)
+			d.tel.forwards.Inc()
+			return nil
+		}
+		lastErr = err
+		d.tel.forwardErrors.Inc()
+		d.markDown(addr)
+	}
+	if lastErr != nil {
+		return fmt.Errorf("cluster: all backends down (last error: %w)", lastErr)
+	}
+	return ErrNoBackends
+}
+
+// noteDelivery records which backend served the agent's report,
+// counting a move when it differs from the previous one.
+func (d *Dispatcher) noteDelivery(agent uint16, addr string) {
+	d.mu.Lock()
+	prev, seen := d.last[agent]
+	d.last[agent] = addr
+	d.mu.Unlock()
+	if seen && prev != addr {
+		d.tel.agentMoves.Inc()
+	}
+}
+
+// exchange runs one report round trip with a backend over its cached
+// connection (dialed on demand, serialized per backend so concurrent
+// agent handlers never interleave frames), under the forward timeout.
+// Any error closes the cached connection so the next attempt redials.
+func (d *Dispatcher) exchange(addr string, msg netwide.Message) error {
+	d.mu.Lock()
+	bc := d.backends[addr]
+	d.mu.Unlock()
+	if bc == nil {
+		return fmt.Errorf("cluster: unknown backend %q", addr)
+	}
+	bc.mu.Lock()
+	defer bc.mu.Unlock()
+	if bc.conn == nil {
+		conn, err := d.dial(addr)
+		if err != nil {
+			return err
+		}
+		bc.conn = conn
+	}
+	err := d.roundTrip(bc.conn, msg)
+	if err != nil {
+		bc.conn.Close()
+		bc.conn = nil
+	}
+	return err
+}
+
+// roundTrip writes the report and awaits the matching ack under the
+// forward timeout.
+func (d *Dispatcher) roundTrip(conn net.Conn, msg netwide.Message) error {
+	if d.fwdTO > 0 {
+		if err := conn.SetDeadline(d.clock.Now().Add(d.fwdTO)); err != nil {
+			return fmt.Errorf("cluster: arming forward deadline: %w", err)
+		}
+		defer conn.SetDeadline(time.Time{})
+	}
+	if err := netwide.WriteMessage(conn, msg); err != nil {
+		return err
+	}
+	ack, err := netwide.ReadMessage(conn)
+	if err != nil {
+		return err
+	}
+	if ack.Type != netwide.MsgAck || ack.Epoch != msg.Epoch {
+		return fmt.Errorf("cluster: unexpected ack (type %d, epoch %d)", ack.Type, ack.Epoch)
+	}
+	return nil
+}
+
+// markDown transitions a backend to down (idempotent), swaps in the
+// rebuilt table, and drops the cached connection. The conn close
+// happens outside d.mu (backendConn has its own lock serializing
+// in-flight exchanges), so a slow exchange never blocks the routing
+// swap.
+func (d *Dispatcher) markDown(addr string) {
+	d.mu.Lock()
+	next := d.table.Without(addr)
+	if next == d.table {
+		d.mu.Unlock()
+		return // unknown or already down
+	}
+	d.table = next
+	bc := d.backends[addr]
+	d.mu.Unlock()
+	if bc != nil {
+		bc.close()
+	}
+	d.tel.backendDown.Inc()
+	d.tel.rebalances.Inc()
+	d.tel.backendsAlive.Set(int64(len(next.Alive())))
+}
+
+// markUp restores a down backend (idempotent) and swaps in the
+// rebuilt table — slot-for-slot the table from before it went down,
+// per Table.With.
+func (d *Dispatcher) markUp(addr string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	next := d.table.With(addr)
+	if next == d.table {
+		return
+	}
+	d.table = next
+	d.tel.backendUp.Inc()
+	d.tel.rebalances.Inc()
+	d.tel.backendsAlive.Set(int64(len(next.Alive())))
+}
+
+// sortedBackends returns the full backend list in probe order (the
+// sorted set — fixed order keeps the prober's transcript effects
+// deterministic).
+func (d *Dispatcher) sortedBackends() []string {
+	return d.Table().Backends()
+}

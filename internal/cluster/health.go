@@ -1,0 +1,53 @@
+package cluster
+
+// Health checking: the prober loop wakes every probe interval and
+// checks each backend in sorted order with the configured probe
+// function. Transitions are hysteretic — downAfter consecutive
+// failures mark a backend down, upAfter consecutive successes restore
+// it — so one dropped probe never flaps the routing table. A
+// forwarding error on real traffic bypasses the failure threshold
+// (markDown is immediate there); recovery always goes through the
+// prober, because only probes prove the backend is reachable again.
+
+// probeLoop runs until Close, sleeping interval between sweeps on the
+// dispatcher's clock (virtual in the chaos suite, so a year of
+// probing costs nothing).
+func (d *Dispatcher) probeLoop() {
+	streak := make(map[string]int) // >0 consecutive successes, <0 failures
+	for {
+		d.clock.Sleep(d.interval)
+		d.mu.Lock()
+		closed := d.closed
+		d.mu.Unlock()
+		if closed {
+			return
+		}
+		d.probeSweep(streak)
+	}
+}
+
+// probeSweep probes every backend once, updating the streak table and
+// applying hysteretic transitions. Factored out of the loop so tests
+// can drive sweeps one at a time without goroutines or clocks.
+func (d *Dispatcher) probeSweep(streak map[string]int) {
+	for _, addr := range d.sortedBackends() {
+		err := d.probe(addr)
+		if err != nil {
+			if streak[addr] > 0 {
+				streak[addr] = 0
+			}
+			streak[addr]--
+			if -streak[addr] >= d.downN {
+				d.markDown(addr)
+			}
+			continue
+		}
+		if streak[addr] < 0 {
+			streak[addr] = 0
+		}
+		streak[addr]++
+		if streak[addr] >= d.upN {
+			d.markUp(addr)
+		}
+	}
+}

@@ -1,0 +1,331 @@
+// Package cluster scales the network-wide collection tier out behind
+// a consistent-hash dispatcher: a Maglev lookup table maps each
+// (agent, epoch) report to one of N collector backends, a Dispatcher
+// forwards agent streams with active health checks and transparent
+// failover, and DecodeEpoch folds the backends' retained shards back
+// into one table bit-identical to what a single collector would have
+// produced (DESIGN.md §15).
+//
+// The sharding unit is the (agent, epoch) pair, not the agent: one
+// agent's successive epochs spread across backends, so losing a
+// backend costs a bounded slice of every agent's history instead of
+// everything from an unlucky subset of agents. Correctness never
+// depends on WHERE a report landed — netwide collectors retain
+// per-agent shards and the cluster decode unions them across backends
+// (duplicates from retried reports dedup by agent ID) before the same
+// canonical fold a single collector applies (netwide.FoldShards).
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"cocosketch/internal/hash"
+)
+
+// DefaultTableSize is the default Maglev lookup-table size: 65537 is
+// prime (a requirement — every skip value must be coprime with the
+// size so each backend's permutation visits every slot) and large
+// enough that per-backend load imbalance stays below 1% for any
+// plausible backend count, per the Maglev paper's M >> N guidance.
+const DefaultTableSize = 65537
+
+// maglevSeed* key the two independent Bob32 draws that position each
+// backend's permutation (offset and skip).
+const (
+	maglevSeedOffset = 0x5ca1ab1e
+	maglevSeedSkip   = 0x0c0c05e7
+)
+
+// EpochKey is the routing key for one agent's epoch report. Folding
+// the epoch into the key is what makes the dispatcher shard by
+// (agent, epoch) rather than pinning each agent to one backend.
+func EpochKey(agent uint16, epoch uint32) uint64 {
+	return uint64(agent)<<32 | uint64(epoch)
+}
+
+// Table is an immutable Maglev consistent-hash lookup table over a
+// fixed backend set, some of which may be marked down. It is a pure
+// function of (backend set, down set): every construction path —
+// NewTable, Without, With, in any order — yields the identical slot
+// assignment for the same pair of sets, which is what lets every
+// dispatcher replica and every chaos replay agree on routing without
+// coordination.
+//
+// The down-marking walk has the minimal-disruption property the
+// cluster relies on: for any down set, every alive backend keeps all
+// the slots it owns in the canonical (all-alive) table — only down
+// backends' canonical slots are refilled, each surviving backend
+// continuing its own permutation walk to claim them. In particular,
+// Without(b) on the canonical table remaps exactly b's slots (≈ 1/N
+// of keys, the bound the property test asserts) and no others.
+type Table struct {
+	size     int
+	backends []string // full set, sorted; index is the slot value
+	down     []string // sorted subset of backends currently marked down
+	slots    []int32  // slot → index into backends, -1 only when all down
+}
+
+// isPrime reports primality by trial division — table construction is
+// rare (startup and health transitions), so simplicity wins.
+func isPrime(n int) bool {
+	if n < 2 {
+		return false
+	}
+	for d := 2; d*d <= n; d++ {
+		if n%d == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// NewTable builds the canonical Maglev table for a backend set with
+// every backend alive. size must be prime (DefaultTableSize when in
+// doubt); backends must be non-empty and free of duplicates. The
+// input slice is not retained and its order is irrelevant — the table
+// is built over the sorted set, so any two nodes configured with the
+// same backends agree slot for slot.
+func NewTable(backends []string, size int) (*Table, error) {
+	if len(backends) == 0 {
+		return nil, fmt.Errorf("cluster: no backends")
+	}
+	if !isPrime(size) {
+		return nil, fmt.Errorf("cluster: table size %d is not prime", size)
+	}
+	sorted := make([]string, len(backends))
+	copy(sorted, backends)
+	sort.Strings(sorted)
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] == sorted[i-1] {
+			return nil, fmt.Errorf("cluster: duplicate backend %q", sorted[i])
+		}
+	}
+	t := &Table{size: size, backends: sorted}
+	t.fill()
+	return t, nil
+}
+
+// permutation holds one backend's walk state through its slot
+// preference sequence: position j prefers slot (offset + j·skip) mod
+// size. skip ∈ [1, size) and size is prime, so the sequence visits
+// every slot once per size steps.
+type permutation struct {
+	offset, skip uint64
+	next         uint64 // next preference index to try (mod size)
+}
+
+func (t *Table) permutationFor(name string) permutation {
+	b := []byte(name)
+	return permutation{
+		offset: uint64(hash.Bob32(b, maglevSeedOffset)) % uint64(t.size),
+		skip:   uint64(hash.Bob32(b, maglevSeedSkip))%uint64(t.size-1) + 1,
+	}
+}
+
+// fill (re)computes t.slots from the backend and down sets: the
+// canonical all-alive population first, then each down backend's
+// slots vacated and refilled in sorted-name order. Determinism comes
+// from doing everything in sorted order off persistent per-backend
+// walk states.
+func (t *Table) fill() {
+	t.slots = make([]int32, t.size)
+	for i := range t.slots {
+		t.slots[i] = -1
+	}
+	perms := make([]permutation, len(t.backends))
+	for i, name := range t.backends {
+		perms[i] = t.permutationFor(name)
+	}
+	// Canonical population: round-robin over all backends, each
+	// claiming the first unclaimed slot in its preference sequence.
+	// Every round hands each backend exactly one slot, so the final
+	// per-backend loads differ by at most one.
+	remaining := t.size
+	for remaining > 0 {
+		for i := range perms {
+			if remaining == 0 {
+				break
+			}
+			t.claim(&perms[i], int32(i))
+			remaining--
+		}
+	}
+	if len(t.down) == 0 {
+		return
+	}
+	// Down-marking: vacate each down backend's slots, then let the
+	// surviving backends CONTINUE their walks (state preserved in
+	// perms) to claim the vacancies round-robin. Slots owned by
+	// survivors are never touched, which is the minimal-disruption
+	// property Without documents.
+	downIdx := make(map[int32]bool, len(t.down))
+	for _, name := range t.down {
+		i := int32(sort.SearchStrings(t.backends, name))
+		downIdx[i] = true
+	}
+	vacated := 0
+	for s, owner := range t.slots {
+		if downIdx[owner] {
+			t.slots[s] = -1
+			vacated++
+		}
+	}
+	if len(t.down) == len(t.backends) {
+		return // all down: every slot stays vacant, Lookup reports false
+	}
+	for vacated > 0 {
+		for i := range perms {
+			if vacated == 0 {
+				break
+			}
+			if downIdx[int32(i)] {
+				continue
+			}
+			t.claim(&perms[i], int32(i))
+			vacated--
+		}
+	}
+}
+
+// claim advances p's walk to its next vacant slot and assigns it to
+// backend index b. The walk may wrap past size (the preference
+// sequence cycles); a vacant slot always exists when claim is called.
+func (t *Table) claim(p *permutation, b int32) {
+	for {
+		slot := (p.offset + p.next%uint64(t.size)*p.skip) % uint64(t.size)
+		p.next++
+		if t.slots[slot] == -1 {
+			t.slots[slot] = b
+			return
+		}
+	}
+}
+
+// clone copies t with an independent down slice (slots are recomputed
+// by the caller via fill, so they are not copied).
+func (t *Table) clone() *Table {
+	n := &Table{size: t.size, backends: t.backends}
+	n.down = append([]string(nil), t.down...)
+	return n
+}
+
+// Without returns the table with one more backend marked down. Slots
+// owned by other backends keep their owner exactly; only name's slots
+// remap, spread across the survivors. Marking an unknown or already-
+// down backend returns t unchanged. The receiver is never modified.
+func (t *Table) Without(name string) *Table {
+	i := sort.SearchStrings(t.backends, name)
+	if i == len(t.backends) || t.backends[i] != name {
+		return t
+	}
+	j := sort.SearchStrings(t.down, name)
+	if j < len(t.down) && t.down[j] == name {
+		return t
+	}
+	n := t.clone()
+	n.down = append(n.down, "")
+	copy(n.down[j+1:], n.down[j:])
+	n.down[j] = name
+	n.fill()
+	return n
+}
+
+// With returns the table with a down backend restored. Because the
+// slot assignment is a pure function of (backend set, down set),
+// t.Without(b).With(b) is slot-for-slot identical to t — a recovered
+// backend gets exactly its old keys back. Restoring a backend that is
+// not down returns t unchanged. The receiver is never modified.
+func (t *Table) With(name string) *Table {
+	j := sort.SearchStrings(t.down, name)
+	if j == len(t.down) || t.down[j] != name {
+		return t
+	}
+	n := t.clone()
+	n.down = append(n.down[:j], n.down[j+1:]...)
+	n.fill()
+	return n
+}
+
+// mix64 is the SplitMix64 finalizer: routing keys are structured
+// (agent in the high half, epoch low), and the finalizer's avalanche
+// spreads them uniformly over the slots.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Lookup routes a key (EpochKey for report routing) to its backend.
+// ok is false only when every backend is down.
+func (t *Table) Lookup(key uint64) (backend string, ok bool) {
+	b := t.slots[mix64(key)%uint64(t.size)]
+	if b < 0 {
+		return "", false
+	}
+	return t.backends[b], true
+}
+
+// Backends returns the full (sorted) backend set, down or not.
+func (t *Table) Backends() []string {
+	return append([]string(nil), t.backends...)
+}
+
+// Down returns the sorted set of backends currently marked down.
+func (t *Table) Down() []string {
+	return append([]string(nil), t.down...)
+}
+
+// Alive returns the sorted backends not marked down.
+func (t *Table) Alive() []string {
+	out := make([]string, 0, len(t.backends)-len(t.down))
+	j := 0
+	for _, b := range t.backends {
+		if j < len(t.down) && t.down[j] == b {
+			j++
+			continue
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// Owners returns the per-slot backend assignment ("" for a vacant
+// slot, which only happens with every backend down) — the raw
+// material for the property tests.
+func (t *Table) Owners() []string {
+	out := make([]string, t.size)
+	for s, b := range t.slots {
+		if b >= 0 {
+			out[s] = t.backends[b]
+		}
+	}
+	return out
+}
+
+// Equal reports whether two tables produce identical routing: same
+// size, same backend set, same down set, same slot assignment.
+func (t *Table) Equal(o *Table) bool {
+	if t.size != o.size || len(t.backends) != len(o.backends) || len(t.down) != len(o.down) {
+		return false
+	}
+	for i := range t.backends {
+		if t.backends[i] != o.backends[i] {
+			return false
+		}
+	}
+	for i := range t.down {
+		if t.down[i] != o.down[i] {
+			return false
+		}
+	}
+	for i := range t.slots {
+		if t.slots[i] != o.slots[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,184 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// testTableSize keeps property-test tables small but still prime and
+// comfortably larger than any backend set used here (M >> N).
+const testTableSize = 1031
+
+// randomBackends draws n distinct backend names from a seeded stream,
+// in shuffled order so canonicalization is exercised.
+func randomBackends(rng *rand.Rand, n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("collector-%d.%d:%d", rng.Intn(1000), i, 7000+rng.Intn(100))
+	}
+	rng.Shuffle(n, func(i, j int) { names[i], names[j] = names[j], names[i] })
+	return names
+}
+
+// TestMaglevRemovalRemapsOnlyRemovedBackend is the satellite property
+// test: over seeded random backend sets, removing one backend (a)
+// leaves every slot owned by a survivor untouched — surviving keys
+// keep their assignment exactly — (b) remaps only the removed
+// backend's slots, a ~1/N fraction with the bound asserted, and (c)
+// adding the backend back restores the original table exactly.
+func TestMaglevRemovalRemapsOnlyRemovedBackend(t *testing.T) {
+	for _, seed := range []int64{1, 7, 1234} {
+		rng := rand.New(rand.NewSource(seed))
+		for trial := 0; trial < 5; trial++ {
+			n := 2 + rng.Intn(7)
+			backends := randomBackends(rng, n)
+			base, err := NewTable(backends, testTableSize)
+			if err != nil {
+				t.Fatal(err)
+			}
+			owners := base.Owners()
+			for _, victim := range base.Backends() {
+				reduced := base.Without(victim)
+				after := reduced.Owners()
+				remapped := 0
+				for s := range owners {
+					if owners[s] == victim {
+						remapped++
+						if after[s] == victim || after[s] == "" {
+							t.Fatalf("seed %d: slot %d still assigned to removed %q", seed, s, after[s])
+						}
+						continue
+					}
+					if after[s] != owners[s] {
+						t.Fatalf("seed %d: surviving slot %d moved %q → %q on removal of %q",
+							seed, s, owners[s], after[s], victim)
+					}
+				}
+				// Balanced population puts each backend within one slot
+				// of M/N, so the remapped fraction is ~1/N; assert the
+				// generous 2/N bound the satellite asks for plus the
+				// exact ±1 balance bound.
+				if remapped > 2*testTableSize/n {
+					t.Errorf("seed %d: removing %q remapped %d/%d slots, above the 2/N bound (N=%d)",
+						seed, victim, remapped, testTableSize, n)
+				}
+				if remapped < testTableSize/n-1 || remapped > testTableSize/n+1 {
+					t.Errorf("seed %d: %q owned %d slots, want %d±1 (balance)",
+						seed, victim, remapped, testTableSize/n)
+				}
+				restored := reduced.With(victim)
+				if !restored.Equal(base) {
+					t.Fatalf("seed %d: Without(%q).With(%q) does not restore the original table",
+						seed, victim, victim)
+				}
+			}
+		}
+	}
+}
+
+// TestMaglevBalanceAndDeterminism pins that the canonical population
+// hands every backend M/N ± 1 slots and that the table is a pure
+// function of the backend SET (input order irrelevant).
+func TestMaglevBalanceAndDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	backends := randomBackends(rng, 5)
+	a, err := NewTable(backends, testTableSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	load := make(map[string]int)
+	for _, owner := range a.Owners() {
+		load[owner]++
+	}
+	min, max := testTableSize, 0
+	for _, b := range a.Backends() {
+		if load[b] < min {
+			min = load[b]
+		}
+		if load[b] > max {
+			max = load[b]
+		}
+	}
+	if max-min > 1 {
+		t.Errorf("load spread %d (min %d, max %d), want ≤ 1", max-min, min, max)
+	}
+
+	shuffled := append([]string(nil), backends...)
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	b, err := NewTable(shuffled, testTableSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Error("table depends on backend input order")
+	}
+	// Down-set purity: reaching down = {x, y} via either order gives
+	// the same table, so independent dispatchers agree after observing
+	// the same failures in different orders.
+	x, y := a.Backends()[0], a.Backends()[3]
+	if !a.Without(x).Without(y).Equal(a.Without(y).Without(x)) {
+		t.Error("table depends on down-marking order")
+	}
+}
+
+// TestMaglevEdgeCases covers the degenerate corners: invalid
+// construction, unknown names, last-backend removal, lookup with all
+// backends down.
+func TestMaglevEdgeCases(t *testing.T) {
+	if _, err := NewTable(nil, testTableSize); err == nil {
+		t.Error("empty backend set accepted")
+	}
+	if _, err := NewTable([]string{"a"}, 1024); err == nil {
+		t.Error("composite table size accepted")
+	}
+	if _, err := NewTable([]string{"a", "a"}, testTableSize); err == nil {
+		t.Error("duplicate backend accepted")
+	}
+
+	tab, err := NewTable([]string{"a", "b"}, testTableSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Without("nope") != tab {
+		t.Error("removing an unknown backend built a new table")
+	}
+	if tab.With("a") != tab {
+		t.Error("restoring an alive backend built a new table")
+	}
+	down := tab.Without("a")
+	if down.Without("a") != down {
+		t.Error("double removal built a new table")
+	}
+	if got := down.Alive(); len(got) != 1 || got[0] != "b" {
+		t.Errorf("Alive = %v, want [b]", got)
+	}
+	allDown := down.Without("b")
+	if _, ok := allDown.Lookup(EpochKey(1, 1)); ok {
+		t.Error("lookup succeeded with every backend down")
+	}
+	if !allDown.With("a").With("b").Equal(tab) {
+		t.Error("full recovery does not restore the canonical table")
+	}
+}
+
+// TestEpochKeySpreadsEpochs pins the sharding unit: the same agent's
+// consecutive epochs route to more than one backend (with 4 backends
+// and 32 epochs the odds of a single-backend streak are ~4^-31).
+func TestEpochKeySpreadsEpochs(t *testing.T) {
+	tab, err := NewTable([]string{"a", "b", "c", "d"}, testTableSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]bool)
+	for e := uint32(0); e < 32; e++ {
+		b, ok := tab.Lookup(EpochKey(7, e))
+		if !ok {
+			t.Fatal("lookup failed with all backends alive")
+		}
+		seen[b] = true
+	}
+	if len(seen) < 2 {
+		t.Errorf("agent 7's 32 epochs all landed on one backend: %v", seen)
+	}
+}

@@ -1,0 +1,27 @@
+package cluster
+
+import (
+	"net"
+	"sync"
+)
+
+// backendConn is the dispatcher's cached upstream connection to one
+// backend. The mutex serializes whole report exchanges (write + ack),
+// so any number of concurrent agent handlers can share the one
+// connection without interleaving frames — and a rebalance never
+// tears an in-flight exchange, because markDown's close waits behind
+// the same lock.
+type backendConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// close drops the cached connection (next exchange redials).
+func (b *backendConn) close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.conn != nil {
+		b.conn.Close()
+		b.conn = nil
+	}
+}

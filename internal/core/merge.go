@@ -81,6 +81,21 @@ func (s *Hardware[K]) Merge(other *Hardware[K]) error {
 	return s.mergeTable(&other.table)
 }
 
+// Compatible reports whether other shares s's geometry and hash seeds —
+// exactly the precondition under which Merge succeeds. It lets a
+// receiver (e.g. the network-wide collector) validate a deserialized
+// shard before retaining it, instead of discovering the mismatch at
+// merge time.
+func (s *Basic[K]) Compatible(other *Basic[K]) bool {
+	return s.table.compatible(&other.table)
+}
+
+// Compatible reports whether other shares s's geometry and hash seeds
+// (the Merge precondition), for the hardware-friendly variant.
+func (s *Hardware[K]) Compatible(other *Hardware[K]) bool {
+	return s.table.compatible(&other.table)
+}
+
 // compressTable halves the number of buckets per array repeatedly by
 // merging adjacent pairs (2j, 2j+1) into slot j. With multiply-shift
 // indexing, index(h) over l/2 buckets equals index(h) over l buckets

@@ -196,3 +196,36 @@ func TestMergeHardwareMixedOccupancy(t *testing.T) {
 		}
 	}
 }
+
+// TestCompatibleMirrorsMergePrecondition: Compatible must say yes
+// exactly when Merge would succeed — same geometry and seeds pass,
+// any difference in arrays, buckets or seed fails, and the verdict
+// matches what Merge actually does.
+func TestCompatibleMirrorsMergePrecondition(t *testing.T) {
+	base := Config{Arrays: 2, BucketsPerArray: 64, Seed: 9}
+	cases := []struct {
+		name string
+		cfg  Config
+		want bool
+	}{
+		{"identical", base, true},
+		{"arrays", Config{Arrays: 3, BucketsPerArray: 64, Seed: 9}, false},
+		{"buckets", Config{Arrays: 2, BucketsPerArray: 32, Seed: 9}, false},
+		{"seed", Config{Arrays: 2, BucketsPerArray: 64, Seed: 10}, false},
+	}
+	a := NewBasic[flowkey.FiveTuple](base)
+	ha := NewHardware[flowkey.FiveTuple](base)
+	for _, tc := range cases {
+		b := NewBasic[flowkey.FiveTuple](tc.cfg)
+		if got := a.Compatible(b); got != tc.want {
+			t.Errorf("%s: Compatible = %v, want %v", tc.name, got, tc.want)
+		}
+		if err := a.Clone().Merge(b); (err == nil) != tc.want {
+			t.Errorf("%s: Merge error %v disagrees with Compatible %v", tc.name, err, tc.want)
+		}
+		hb := NewHardware[flowkey.FiveTuple](tc.cfg)
+		if got := ha.Compatible(hb); got != tc.want {
+			t.Errorf("%s: Hardware Compatible = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}

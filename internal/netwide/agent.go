@@ -21,12 +21,13 @@ type SpoolPolicy int
 
 const (
 	// SpoolCoalesce merges the newest adjacent pair of spool entries
-	// sealed by the same codec with core.Merge: memory stays bounded,
-	// no observation is lost, and estimates over the union stay
-	// unbiased — the epochs just coarsen (the merged report spans an
-	// epoch range). Coalescing is codec-aware: entries sealed by
-	// different codecs have different stage geometries and delta
-	// semantics, so they never merge; if a mixed-codec spool has no
+	// sealed by fingerprint-identical codecs with core.Merge: memory
+	// stays bounded, no observation is lost, and estimates over the
+	// union stay unbiased — the epochs just coarsen (the merged report
+	// spans an epoch range). Coalescing compares report.Codec
+	// Fingerprints, not names: entries sealed under different sealing
+	// parameters (e.g. a mid-run -report-shrink change) have different
+	// stage geometries and delta semantics, so they never merge; if a mixed-codec spool has no
 	// mergeable adjacent pair at all, the oldest non-head entry is
 	// shed instead, with its weight counted in
 	// "netwide.dropped_weight" (exact accounting, like
@@ -342,20 +343,23 @@ func (a *Agent) shedOverflow() {
 		a.tel.droppedWeight.Add(head.weight)
 		a.tel.droppedEpochs.Add(uint64(head.hi-head.lo) + 1)
 	default: // SpoolCoalesce
-		// Coalescing is codec-aware: only adjacent entries sealed by
-		// the same codec may merge (same stage geometry, and the
-		// merged stage is something that codec's encoder can still
-		// delta-encode). Scan newest-first so a single-codec spool
-		// behaves exactly as before — the two newest entries merge.
-		// The head (index 0) stays untouched unless it is half of the
-		// only pair, preserving retry idempotency (see SpoolPolicy).
+		// Coalescing is codec-aware: only adjacent entries whose
+		// sealing codecs share a Fingerprint may merge. The fingerprint
+		// — not the name — is the comparison, because "compressed" at
+		// shrink 8 and at shrink 16 seal to different stage geometries;
+		// a mid-run SetCodec shrink change must start a new coalescing
+		// run, never fold a new-shrink stage into an old-shrink one.
+		// Scan newest-first so a single-codec spool behaves exactly as
+		// before — the two newest entries merge. The head (index 0)
+		// stays untouched unless it is half of the only pair,
+		// preserving retry idempotency (see SpoolPolicy).
 		low := 1
 		if len(a.spool) == 2 {
 			low = 0
 		}
 		for i := len(a.spool) - 2; i >= low; i-- {
 			j := i + 1
-			if a.spool[i].codec != a.spool[j].codec {
+			if a.spool[i].codec.Fingerprint() != a.spool[j].codec.Fingerprint() {
 				continue
 			}
 			// Merge validates compatibility before mutating, so a

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
@@ -38,8 +39,19 @@ type Collector struct {
 	// decoder reconstructs report payloads; it holds per-agent delta
 	// base state for the compressed codec and is therefore driven
 	// under mu (Decoder implementations are not concurrency-safe).
-	decoder    report.Decoder[flowkey.FiveTuple]
-	epochs     map[uint32]*core.Basic[flowkey.FiveTuple]
+	decoder report.Decoder[flowkey.FiveTuple]
+	// shards retains each agent's decoded stage per epoch instead of
+	// eagerly merging it away. Queries fold the shards in canonical
+	// agent-ID order (see FoldShards), which makes the decoded table a
+	// pure function of the shard SET: core.Merge's key survival draws
+	// from the aggregate's RNG, so merge ORDER matters, and canonical
+	// folding is what lets a sharded cluster's decode (internal/
+	// cluster) reproduce the single-collector result bit for bit no
+	// matter which backend each report landed on or in what order.
+	shards map[uint32]map[uint16]*core.Basic[flowkey.FiveTuple]
+	// folded caches the canonical fold per epoch; invalidated whenever
+	// a new shard arrives for that epoch.
+	folded     map[uint32]*core.Basic[flowkey.FiveTuple]
 	reported   map[uint32]map[uint16]bool
 	agents     map[uint16]AgentStatus
 	latest     uint32
@@ -142,7 +154,8 @@ func NewCollector(cfg core.Config) *Collector {
 		clock:    SystemClock,
 		spawn:    func(fn func()) { go fn() },
 		decoder:  report.Full[flowkey.FiveTuple](flowkey.FiveTupleFromBytes).NewDecoder(),
-		epochs:   make(map[uint32]*core.Basic[flowkey.FiveTuple]),
+		shards:   make(map[uint32]map[uint16]*core.Basic[flowkey.FiveTuple]),
+		folded:   make(map[uint32]*core.Basic[flowkey.FiveTuple]),
 		reported: make(map[uint32]map[uint16]bool),
 		agents:   make(map[uint16]AgentStatus),
 	}
@@ -215,13 +228,19 @@ func (c *Collector) Handle(conn net.Conn) error {
 	}
 }
 
-// ingest merges one reported sketch into its epoch aggregate.
+// ingest retains one reported sketch as the (epoch, agent) shard.
 //
 // Ordering matters: the duplicate check runs before the decode. A
 // retry after a lost acknowledgement arrives when the decoder's delta
 // base has already advanced past the retried payload's base, so
 // decoding it would fail — acknowledging known (epoch, agent) pairs
 // without decoding is what makes retries idempotent under every codec.
+//
+// The shard is validated (core.Basic.Compatible against the epoch's
+// first shard) but NOT merged here: merging is deferred to query time,
+// where the epoch's shards fold in canonical agent-ID order. Eager
+// arrival-order merging would make the decoded table depend on which
+// agent's report happened to land first.
 func (c *Collector) ingest(msg Message) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -246,14 +265,26 @@ func (c *Collector) ingest(msg Message) error {
 		c.tel.decodeFailures.Inc()
 		return fmt.Errorf("netwide: agent %d epoch %d: %w", msg.AgentID, msg.Epoch, err)
 	}
-	agg, ok := c.epochs[msg.Epoch]
+	epochShards, ok := c.shards[msg.Epoch]
 	if !ok {
-		c.epochs[msg.Epoch] = shard
+		epochShards = make(map[uint16]*core.Basic[flowkey.FiveTuple])
+		c.shards[msg.Epoch] = epochShards
 		c.tel.epochsTracked.Add(1)
-	} else if err := agg.Merge(shard); err != nil {
-		c.tel.mergeErrors.Inc()
-		return fmt.Errorf("netwide: agent %d epoch %d: %w", msg.AgentID, msg.Epoch, err)
+	} else {
+		// The epoch's first shard fixes its geometry (full snapshots
+		// arrive at the shared Config, compressed stages at Config/
+		// shrink); every later shard must be mergeable with it, checked
+		// up front so fold can never fail.
+		for _, ref := range epochShards {
+			if !ref.Compatible(shard) {
+				c.tel.mergeErrors.Inc()
+				return fmt.Errorf("netwide: agent %d epoch %d: %w", msg.AgentID, msg.Epoch, core.ErrIncompatible)
+			}
+			break
+		}
 	}
+	epochShards[msg.AgentID] = shard
+	delete(c.folded, msg.Epoch)
 	if !c.haveLatest || msg.Epoch > c.latest {
 		c.latest, c.haveLatest = msg.Epoch, true
 		c.tel.latestEpoch.Set(int64(msg.Epoch))
@@ -294,11 +325,98 @@ func (c *Collector) LatestEpoch() (uint32, bool) {
 	return c.latest, c.haveLatest
 }
 
+// fold returns the epoch's canonical aggregate, computing and caching
+// it on first query after a new shard. Caller holds c.mu.
+func (c *Collector) fold(epoch uint32) (*core.Basic[flowkey.FiveTuple], bool) {
+	if agg, ok := c.folded[epoch]; ok {
+		return agg, true
+	}
+	epochShards, ok := c.shards[epoch]
+	if !ok {
+		return nil, false
+	}
+	agg := FoldShards(epochShards)
+	c.folded[epoch] = agg
+	return agg, true
+}
+
+// FoldShards merges per-agent epoch shards into one network-wide
+// aggregate in canonical (ascending agent-ID) order and returns it;
+// the shards themselves are never mutated. Canonical ordering is what
+// makes the result a pure function of the shard set: core.Merge keeps
+// values order-independent, but WHICH key survives a bucket collision
+// is drawn from the aggregate's RNG, so two different merge orders
+// produce tables that agree on every estimate yet differ bit-for-bit.
+// Folding in a fixed order removes the arrival-order dependence — and
+// it is the keystone of the cluster plane: a dispatcher may scatter an
+// epoch's reports across backends and a failover may duplicate some,
+// but as long as the union of retained shards is the same set, this
+// fold reproduces the single-collector table exactly (see
+// cluster.DecodeEpoch). Returns nil for an empty shard map.
+//
+// All shards must be mutually Compatible (Collector.ingest enforces
+// that on arrival); the fold seeds its RNG from the canonically first
+// shard's serialized state, so equal shard sets yield equal aggregates
+// across processes.
+func FoldShards(shards map[uint16]*core.Basic[flowkey.FiveTuple]) *core.Basic[flowkey.FiveTuple] {
+	if len(shards) == 0 {
+		return nil
+	}
+	ids := make([]int, 0, len(shards))
+	for id := range shards {
+		ids = append(ids, int(id))
+	}
+	sort.Ints(ids)
+	agg := shards[uint16(ids[0])].Clone()
+	for _, id := range ids[1:] {
+		// Compatibility was checked at ingest, so a failure here is a
+		// programming error; panicking would take the whole collector
+		// down, so the offending shard is skipped instead (it cannot
+		// happen through the public API).
+		_ = agg.Merge(shards[uint16(id)])
+	}
+	return agg
+}
+
+// EpochShards returns deep copies of the per-agent shards retained for
+// an epoch (false if no agent reported it yet). This is the cluster
+// decode's raw material: each backend exposes its retained shard set,
+// and cluster.DecodeEpoch unions the sets across backends before the
+// canonical fold.
+func (c *Collector) EpochShards(epoch uint32) (map[uint16]*core.Basic[flowkey.FiveTuple], bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	epochShards, ok := c.shards[epoch]
+	if !ok {
+		return nil, false
+	}
+	out := make(map[uint16]*core.Basic[flowkey.FiveTuple], len(epochShards))
+	for id, s := range epochShards {
+		out[id] = s.Clone()
+	}
+	return out, true
+}
+
+// Epochs returns the sorted list of epochs this collector holds shards
+// for.
+func (c *Collector) Epochs() []uint32 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]uint32, 0, len(c.shards))
+	for e := range c.shards {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // Epoch returns a query engine over the merged network-wide table of
-// one epoch (false if no agent reported it yet).
+// one epoch (false if no agent reported it yet). The table is the
+// canonical fold of the epoch's per-agent shards, independent of the
+// order reports arrived in.
 func (c *Collector) Epoch(epoch uint32) (*query.Engine, bool) {
 	c.mu.Lock()
-	agg, ok := c.epochs[epoch]
+	agg, ok := c.fold(epoch)
 	c.mu.Unlock()
 	if !ok {
 		return nil, false
@@ -315,10 +433,10 @@ func (c *Collector) Epoch(epoch uint32) (*query.Engine, bool) {
 // at all has data.
 func (c *Collector) EpochOrLatest(epoch uint32) (eng *query.Engine, served uint32, ok bool) {
 	c.mu.Lock()
-	agg, exact := c.epochs[epoch]
+	agg, exact := c.fold(epoch)
 	served = epoch
 	if !exact && c.haveLatest {
-		agg, exact = c.epochs[c.latest], true
+		agg, exact = c.fold(c.latest)
 		served = c.latest
 		c.tel.staleServes.Inc()
 	}

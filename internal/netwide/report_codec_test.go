@@ -330,3 +330,103 @@ func TestCollectorRestartRecovery(t *testing.T) {
 		t.Errorf("epoch 1 mass %d after recovery, want %d", total, want)
 	}
 }
+
+// TestSpoolCoalesceComparesShrinkNotJustName is the regression test
+// for fingerprint-based coalescing: "compressed" at two different
+// shrink factors must never merge (their stages have different
+// geometries — the old name-only comparison would have corrupted the
+// spool on a mid-run -report-shrink change), while two distinct codec
+// instances with identical sealing parameters must still coalesce.
+func TestSpoolCoalesceComparesShrinkNotJustName(t *testing.T) {
+	cfg := telNetCfg()
+
+	t.Run("mid-run shrink change never merges", func(t *testing.T) {
+		reg := telemetry.New()
+		agent := NewAgent(3, cfg).SetTelemetry(reg).SetSpool(2, SpoolCoalesce)
+		shrink4 := mustCompressed(t, cfg, 4)
+		shrink8 := mustCompressed(t, cfg, 8)
+		if shrink4.Name() != shrink8.Name() {
+			t.Fatalf("precondition: names differ (%s vs %s), test would not catch name-only comparison",
+				shrink4.Name(), shrink8.Name())
+		}
+		if shrink4.Fingerprint() == shrink8.Fingerprint() {
+			t.Fatal("fingerprints must differ across shrink factors")
+		}
+		for i, c := range []report.Codec[flowkey.FiveTuple]{shrink4, shrink4, shrink8} {
+			agent.SetCodec(c)
+			agent.Observe(flowkey.FiveTuple{Proto: 6, SrcPort: uint16(i)}, uint64(10*(i+1)))
+			agent.EndEpoch()
+		}
+		// Overflow at [s4(0) s4(1) s8(2)]: the only scannable pair
+		// (1,2) spans the shrink change, so nothing merges and the
+		// oldest non-head entry (epoch 1, weight 20) is shed.
+		if got := agent.PendingEpochs(); got != 2 {
+			t.Fatalf("spool depth = %d, want 2", got)
+		}
+		for i, want := range []struct{ lo, hi uint32 }{{0, 0}, {2, 2}} {
+			if e := agent.spool[i]; e.lo != want.lo || e.hi != want.hi {
+				t.Errorf("entry %d spans [%d,%d], want [%d,%d]", i, e.lo, e.hi, want.lo, want.hi)
+			}
+		}
+		snap := reg.Snapshot()
+		if got := snap.Counters["netwide.spool_coalesced"]; got != 0 {
+			t.Errorf("spool_coalesced = %d, cross-shrink entries must not merge", got)
+		}
+		if got := snap.Counters["netwide.dropped_weight"]; got != 20 {
+			t.Errorf("dropped_weight = %d, want exactly epoch 1's 20", got)
+		}
+		ob := snap.Counters["netwide.observed"]
+		pending := uint64(snap.Gauges["netwide.spool_weight"])
+		if ob != pending+snap.Counters["netwide.dropped_weight"] {
+			t.Errorf("ledger: observed %d != pending %d + dropped %d",
+				ob, pending, snap.Counters["netwide.dropped_weight"])
+		}
+	})
+
+	t.Run("distinct instances with equal parameters coalesce", func(t *testing.T) {
+		reg := telemetry.New()
+		agent := NewAgent(4, cfg).SetTelemetry(reg).SetSpool(2, SpoolCoalesce)
+		ca := mustCompressed(t, cfg, 4)
+		cb := mustCompressed(t, cfg, 4)
+		var observed uint64
+		for i, c := range []report.Codec[flowkey.FiveTuple]{ca, ca, cb} {
+			agent.SetCodec(c)
+			agent.Observe(flowkey.FiveTuple{Proto: 17, SrcPort: uint16(i)}, uint64(10*(i+1)))
+			observed += uint64(10 * (i + 1))
+			agent.EndEpoch()
+		}
+		// ca and cb are different objects with the same fingerprint:
+		// entries 1 and 2 merge (the old identity comparison would have
+		// shed epoch 1 instead).
+		if got := agent.PendingEpochs(); got != 2 {
+			t.Fatalf("spool depth = %d, want 2", got)
+		}
+		if e := agent.spool[1]; e.lo != 1 || e.hi != 2 {
+			t.Errorf("entry 1 spans [%d,%d], want coalesced [1,2]", e.lo, e.hi)
+		}
+		snap := reg.Snapshot()
+		if got := snap.Counters["netwide.spool_coalesced"]; got != 1 {
+			t.Errorf("spool_coalesced = %d, want 1", got)
+		}
+		if got := snap.Counters["netwide.dropped_weight"]; got != 0 {
+			t.Errorf("dropped_weight = %d, nothing should be shed", got)
+		}
+
+		// The mixed-instance spool still flushes cleanly end to end.
+		collector := NewCollector(cfg).SetCodec(mustCompressed(t, cfg, 4))
+		addr, stop := serveCollector(t, collector)
+		defer stop()
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		if err := agent.Flush(conn); err != nil {
+			t.Fatal(err)
+		}
+		snap = reg.Snapshot()
+		if ob, dw := snap.Counters["netwide.observed"], snap.Counters["netwide.delivered_weight"]; ob != observed || dw != observed {
+			t.Errorf("ledger: observed %d delivered %d, want both %d", ob, dw, observed)
+		}
+	})
+}

@@ -134,6 +134,16 @@ func Compressed[K flowkey.Key](cfg core.Config, shrink int, decode core.KeyDecod
 
 func (c *compressedCodec[K]) Name() string { return "compressed" }
 
+// Fingerprint folds in everything that shapes the sealed stage: the
+// fat geometry (arrays, buckets, seed) and the shrink factor. Two
+// compressed codecs at different shrinks seal to different stage
+// geometries, so their fingerprints must differ even though their
+// names agree.
+func (c *compressedCodec[K]) Fingerprint() string {
+	return fmt.Sprintf("compressed/d=%d,l=%d,seed=%d,shrink=%d",
+		c.cfg.Arrays, c.cfg.BucketsPerArray, c.cfg.Seed, c.shrink)
+}
+
 func (c *compressedCodec[K]) Seal(fat *core.Basic[K]) (*core.Basic[K], error) {
 	if c.shrink == 1 {
 		return fat.Clone(), nil
