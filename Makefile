@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race chaos bench bench-insert bench-ring bench-smoke bench-alloc bench-report fuzz fmt docs clean cover verify-stats
+.PHONY: build test race chaos bench bench-insert bench-ring bench-smoke bench-alloc bench-report bench-query fuzz fmt docs clean cover verify-stats
 
 build:
 	$(GO) build ./...
@@ -16,7 +16,7 @@ test:
 # the seeded chaos suite (deterministic fault injection exercises the
 # agent/collector concurrency paths hardest).
 race:
-	$(GO) test -race -shuffle=on ./internal/ovs/... ./internal/core/... ./internal/netwide/... ./internal/shard/... ./internal/cluster/... ./internal/query/... ./internal/telemetry/... ./internal/packet/... ./internal/pcap/...
+	$(GO) test -race -shuffle=on ./internal/ovs/... ./internal/core/... ./internal/netwide/... ./internal/shard/... ./internal/cluster/... ./internal/query/... ./internal/window/... ./internal/telemetry/... ./internal/packet/... ./internal/pcap/...
 	$(MAKE) chaos
 
 # Seeded chaos simulation: the faultnet scenarios (latency, drops,
@@ -75,7 +75,16 @@ bench-report:
 	$(GO) test -run '^$$' -bench 'BenchmarkReportDecode/' -count 4 ./internal/report/ \
 		| $(GO) run ./internal/tools/benchsmoke -off decode-full -on decode-compressed -max 0 -min 1.0
 
-bench: bench-insert bench-ring bench-smoke bench-report
+# Continuous query-serving gates (DESIGN.md §16): a sealer drives the
+# window ring at line rate while query readers hammer the windowed API;
+# the run must sustain ≥10k queries/s, keep ingest above its floor, and
+# hold the cache hit ratio — all enforced inside the env-gated test.
+# The microbenchmark reports the cached/uncached split behind the gate.
+bench-query:
+	COCO_QUERY_GATE=1 $(GO) test -run 'TestQueryServingGate' -count=1 -v ./internal/window/
+	$(GO) test -run '^$$' -bench 'BenchmarkWindowGroupBy|BenchmarkQueryUnderIngest' -benchmem ./internal/window/
+
+bench: bench-insert bench-ring bench-smoke bench-report bench-query
 
 # Short fuzz pass over the multi-seed hash (equivalence with Bob32).
 fuzz:

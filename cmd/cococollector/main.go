@@ -13,6 +13,13 @@
 // /debug/pprof/. With -idle-timeout a connection whose agent goes
 // silent is dropped instead of holding its handler goroutine forever.
 //
+// With -window N the collector additionally retains the last N sealed
+// epochs in a sliding-window query ring (internal/window), and with
+// -serve-query it serves live windowed partial-key queries as JSON:
+//
+//	GET /query?sql=SELECT+SrcIP,+SUM(Size)+FROM+table+GROUP+BY+SrcIP&range=last:4
+//	GET /epochs
+//
 // With -cluster the process runs as a Maglev dispatcher instead of a
 // collector: agents keep pointing their -collector flag at it, and it
 // consistently shards each (agent, epoch) report across the backend
@@ -46,6 +53,7 @@ import (
 	"cocosketch/internal/query"
 	"cocosketch/internal/report"
 	"cocosketch/internal/telemetry"
+	"cocosketch/internal/window"
 )
 
 func main() {
@@ -75,6 +83,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		clusterOn = fs.Bool("cluster", false, "run as a Maglev dispatcher sharding reports across the -peers backend collectors instead of collecting locally")
 		peers     = fs.String("peers", "", "comma-separated backend collector addresses (required with -cluster)")
 		healthIv  = fs.Duration("health-interval", cluster.DefaultProbeInterval, "backend health-probe cadence in -cluster mode")
+		windowN   = fs.Int("window", 0, "retain the last N sealed epochs in a sliding-window query ring (0 = off)")
+		queryAddr = fs.String("serve-query", "", "serve the windowed JSON query endpoint (/query, /epochs) on this address (requires -window)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -130,6 +140,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "cococollector: unknown -report-codec %q (want full or compressed)\n", *codecName)
 		return 2
 	}
+	var ring *window.Ring
+	if *queryAddr != "" && *windowN <= 0 {
+		fmt.Fprintln(stderr, "cococollector: -serve-query requires -window N (N >= 1)")
+		return 2
+	}
+	if *windowN > 0 {
+		ring = window.NewRing(*windowN, cfg).SetTelemetry(reg)
+		if *queryAddr != "" {
+			addr, err := window.Serve(*queryAddr, ring)
+			if err != nil {
+				fmt.Fprintf(stderr, "cococollector: %v\n", err)
+				return 1
+			}
+			fmt.Fprintf(stdout, "query: listening on %s\n", addr)
+		}
+	}
+
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
 		fmt.Fprintf(stderr, "cococollector: %v\n", err)
@@ -152,6 +179,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "\n=== epoch %d (%d agents) ===\n", epoch, collector.AgentsReported(epoch))
 		for _, m := range masks {
 			fmt.Fprint(stdout, query.FormatRows(m, engine.Top(m, *top), *top))
+		}
+		if ring != nil {
+			// Seal the epoch's canonical fold into the query ring: from
+			// here on the epoch is visible to windowed queries and the
+			// JSON endpoint.
+			if err := collector.SealEpochInto(ring, epoch); err != nil {
+				fmt.Fprintf(stderr, "cococollector: seal epoch %d: %v\n", epoch, err)
+			}
 		}
 		if *oneshot {
 			return 0

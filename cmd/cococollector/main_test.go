@@ -2,7 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"net"
+	"net/http"
 	"strings"
 	"sync"
 	"testing"
@@ -12,6 +14,7 @@ import (
 	"cocosketch/internal/core"
 	"cocosketch/internal/flowkey"
 	"cocosketch/internal/netwide"
+	"cocosketch/internal/window"
 )
 
 // syncBuffer is a mutex-guarded buffer so the test can poll run()'s
@@ -161,6 +164,105 @@ func TestRunClusterDispatchEndToEnd(t *testing.T) {
 	}
 	if mass != observed {
 		t.Errorf("cluster decode mass %d != observed %d", mass, observed)
+	}
+}
+
+// TestRunServeQueryRequiresWindow pins the -serve-query usage contract.
+func TestRunServeQueryRequiresWindow(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-serve-query", "127.0.0.1:0"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("run = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "-window") {
+		t.Fatalf("stderr does not explain the missing -window:\n%s", stderr.String())
+	}
+}
+
+// TestRunWindowQueryEndToEnd boots the collector with the sliding
+// window and the JSON query endpoint enabled, reports two epochs from
+// an in-process agent, and queries the live endpoint: /epochs must show
+// both sealed epochs and /query must serve the windowed top sources
+// with the full observed mass.
+func TestRunWindowQueryEndToEnd(t *testing.T) {
+	stdout := &syncBuffer{}
+	stderr := &syncBuffer{}
+	go run([]string{
+		"-listen", "127.0.0.1:0",
+		"-mem", "64", "-d", "2", "-seed", "5",
+		"-keys", "SrcIP",
+		"-every", "20ms",
+		"-window", "4",
+		"-serve-query", "127.0.0.1:0",
+	}, stdout, stderr)
+
+	out := waitFor(t, stdout, "query: listening on ")
+	line := out[strings.Index(out, "query: listening on ")+len("query: listening on "):]
+	queryAddr := strings.Fields(line)[0]
+	out = waitFor(t, stdout, "collecting on ")
+	line = out[strings.Index(out, "collecting on ")+len("collecting on "):]
+	listenAddr := strings.Fields(line)[0]
+
+	cfg := core.ConfigForMemory[flowkey.FiveTuple](2, 64*1024, 5)
+	agent := netwide.NewAgent(1, cfg)
+	conn, err := net.Dial("tcp", listenAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	var observed uint64
+	for e := 0; e < 2; e++ {
+		for i := 0; i < 3000; i++ {
+			agent.Observe(flowkey.FiveTuple{SrcIP: [4]byte{10, 0, 0, byte(i % 4)}, Proto: 6}, 1)
+			observed++
+		}
+		if err := agent.Report(conn); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The main loop seals each epoch after printing it; poll /epochs
+	// until both seals are visible to the query tier.
+	var epochs window.EpochsResponse
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get("http://" + queryAddr + "/epochs")
+		if err == nil {
+			err = json.NewDecoder(resp.Body).Decode(&epochs)
+			resp.Body.Close()
+		}
+		if err == nil && epochs.To >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("query tier never saw both epochs (last: %+v, err %v)\nstderr: %s", epochs, err, stderr.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if epochs.From != 0 || len(epochs.Epochs) != 2 {
+		t.Fatalf("epochs = %+v, want [0 1] retained", epochs)
+	}
+
+	resp, err := http.Get("http://" + queryAddr + "/query?sql=SELECT+SrcIP,+SUM(Size)+FROM+table+GROUP+BY+SrcIP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query status %d", resp.StatusCode)
+	}
+	var qr window.QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.From != 0 || qr.To != 2 || qr.Mask != "SrcIP" {
+		t.Fatalf("query response header = %+v, want [0,2) SrcIP", qr)
+	}
+	var mass uint64
+	for _, row := range qr.Rows {
+		mass += row.Size
+	}
+	if mass != observed {
+		t.Fatalf("windowed mass %d != observed %d (rows %+v)", mass, observed, qr.Rows)
 	}
 }
 

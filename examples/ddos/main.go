@@ -4,6 +4,15 @@
 // ONE sketch on the 5-tuple answers all of them after the fact, and
 // hierarchical heavy hitters localize the attacking prefix.
 //
+// The example runs in two phases. First the LIVE phase: traffic is
+// sealed into the continuous query-serving ring epoch by epoch, with
+// standing subscriptions (internal/window) watching every seal — the
+// flood announces itself through heavy-hitter and entropy-collapse
+// events the moment its first epoch seals, no polling and no
+// pre-declared attack signature. Then the post-hoc drill-down runs over
+// the same ring's merged window, answering the partial-key questions
+// the events raised.
+//
 // Run: go run ./examples/ddos
 package main
 
@@ -17,12 +26,15 @@ import (
 	"cocosketch/internal/query"
 	"cocosketch/internal/tasks"
 	"cocosketch/internal/trace"
+	"cocosketch/internal/window"
 	"cocosketch/internal/xrand"
 )
 
 const (
-	backgroundPackets = 400_000
-	attackPackets     = 100_000
+	nEpochs      = 5
+	epochPackets = 100_000
+	floodStart   = 2 // epochs 2..4 carry the flood
+	attackShare  = 3 // ~1/3 of a flood epoch is attack traffic
 )
 
 // attack synthesizes a UDP flood: a botnet inside 203.0.113.0/24 plus
@@ -42,27 +54,79 @@ func attack(rng *xrand.Source) flowkey.FiveTuple {
 }
 
 func main() {
-	sk := core.NewBasicForMemory[flowkey.FiveTuple](core.DefaultArrays, 500*1024, 1)
+	cfg := core.ConfigForMemory[flowkey.FiveTuple](core.DefaultArrays, 500*1024, 1)
+	ring := window.NewRing(nEpochs, cfg)
+	mDst := flowkey.MaskFields(flowkey.FieldDstIP)
 
-	// Benign traffic plus the flood, interleaved.
-	background := trace.CAIDALike(backgroundPackets, 3)
+	// Standing subscriptions: fire at each seal, before anyone thinks
+	// to ask a question.
+	events := make(chan window.Event, 32)
+	ring.Subscribe(window.Subscription{
+		Kind: window.HeavyHitter, Mask: mDst, Fraction: 0.2, Limit: 1,
+	}, events)
+	ring.Subscribe(window.Subscription{
+		Kind: window.Entropy, Mask: mDst, MaxEntropy: 0.6, Limit: 1,
+	}, events)
+
+	// LIVE phase: benign traffic plus (from epoch 2) the flood,
+	// interleaved, one sealed epoch at a time.
+	background := trace.CAIDALike(nEpochs*epochPackets, 3)
 	rng := xrand.New(99)
 	bi := 0
-	for i := 0; i < backgroundPackets+attackPackets; i++ {
-		if rng.Uint64n(5) == 0 && i/5 < attackPackets { // ~20% attack volume
-			sk.Insert(attack(rng), 1)
-		} else if bi < len(background.Packets) {
-			sk.Insert(background.Packets[bi].Key, 1)
-			bi++
+	fmt.Println("live phase (heavy-hitter ≥20% of epoch, entropy ≤0.6 over DstIP):")
+	for e := 0; e < nEpochs; e++ {
+		sk := core.NewBasic[flowkey.FiveTuple](cfg)
+		for i := 0; i < epochPackets; i++ {
+			if e >= floodStart && rng.Uint64n(attackShare) == 0 {
+				sk.Insert(attack(rng), 1)
+			} else if bi < len(background.Packets) {
+				sk.Insert(background.Packets[bi].Key, 1)
+				bi++
+			}
+		}
+		if err := ring.Seal(uint64(e), sk); err != nil {
+			panic(err)
+		}
+		fmt.Printf("epoch %d sealed", e)
+		for fired := false; ; {
+			select {
+			case ev := <-events:
+				if !fired {
+					fmt.Println()
+					fired = true
+				}
+				switch ev.Kind {
+				case window.Entropy:
+					fmt.Printf("  ALERT %s: DstIP entropy collapsed to %.2f, concentrated on %s\n",
+						ev.Kind, ev.Entropy, query.RenderPartial(mDst, ev.Flows[0].Key))
+				default:
+					fmt.Printf("  ALERT %s: %s takes ≥20%% of the epoch (%d)\n",
+						ev.Kind, query.RenderPartial(mDst, ev.Flows[0].Key), ev.Flows[0].Size)
+				}
+				continue
+			default:
+			}
+			if !fired {
+				fmt.Println(" — quiet")
+			}
+			break
 		}
 	}
 
-	engine := query.NewEngine(sk.Decode())
-	total := uint64(backgroundPackets + attackPackets)
+	// POST-HOC drill-down: the same ring answers every partial-key
+	// question over the whole retained window — no second sketch, no
+	// pre-declared keys.
+	engine, err := ring.Window(window.All())
+	if err != nil {
+		panic(err)
+	}
+	var total uint64
+	for _, v := range engine.FullTable() {
+		total += v
+	}
 
 	// Question 1: who is being hit? (DstIP was never pre-configured.)
-	mDst := flowkey.MaskFields(flowkey.FieldDstIP)
-	fmt.Println("victims by DstIP:")
+	fmt.Println("\nvictims by DstIP:")
 	fmt.Print(query.FormatRows(mDst, engine.Top(mDst, 3), 3))
 
 	// Question 2: which service? (DstIP, DstPort)
@@ -98,5 +162,5 @@ func main() {
 	for _, nd := range nodes {
 		fmt.Printf("  %-22s %10d\n", nd.n.String(), nd.v)
 	}
-	fmt.Println("\nthe flood's source prefix stands out without any pre-declared key")
+	fmt.Println("\nthe flood's source prefix stood out live (subscriptions) and post hoc (drill-down), with no pre-declared key")
 }

@@ -1,7 +1,9 @@
 // Continuous monitoring with a sliding window: the trace is split into
-// time-based measurement epochs; a core.Window keeps the last W epochs
-// queryable while older state ages out — the deployment loop of a
-// long-running monitor.
+// time-based measurement epochs; each epoch seals its own sketch into a
+// window.Ring, which keeps the last W epochs queryable through the
+// windowed partial-key API while older state ages out — the deployment
+// loop of a long-running monitor (and exactly what cococollector
+// -window runs in production).
 //
 // Run: go run ./examples/sliding
 package main
@@ -13,8 +15,8 @@ import (
 	"cocosketch/internal/core"
 	"cocosketch/internal/flowkey"
 	"cocosketch/internal/query"
-	"cocosketch/internal/sketch"
 	"cocosketch/internal/trace"
+	"cocosketch/internal/window"
 )
 
 func main() {
@@ -23,31 +25,74 @@ func main() {
 	tr := trace.Generate(cfg) // ≈ 300 ms of traffic
 
 	const epoch = 50 * time.Millisecond
-	windows := tr.SplitByTime(epoch)
-	fmt.Printf("trace spans %v → %d epochs of %v\n\n", tr.Duration().Round(time.Millisecond),
-		len(windows), epoch)
+	const retain = 3
+	slices := tr.SplitByTime(epoch)
+	fmt.Printf("trace spans %v → %d epochs of %v, ring retains %d\n\n",
+		tr.Duration().Round(time.Millisecond), len(slices), epoch, retain)
 
-	// Keep the last 3 epochs queryable.
-	win := core.NewWindow(3, core.ConfigForMemory[flowkey.FiveTuple](
-		core.DefaultArrays, 200*1024, 99))
+	sketchCfg := core.ConfigForMemory[flowkey.FiveTuple](core.DefaultArrays, 200*1024, 99)
+	ring := window.NewRing(retain, sketchCfg)
 
+	// A standing subscription rides along: the ring tells us whenever a
+	// single source exceeds a tenth of an epoch, with no polling.
 	srcMask := flowkey.MaskFields(flowkey.FieldSrcIP)
-	for e, w := range windows {
+	events := make(chan window.Event, 16)
+	ring.Subscribe(window.Subscription{
+		Kind:     window.HeavyHitter,
+		Mask:     srcMask,
+		Fraction: 0.10,
+		Limit:    1,
+	}, events)
+
+	for e, w := range slices {
+		// One fresh sketch per epoch; sealing hands it to the ring and
+		// makes it queryable.
+		sk := core.NewBasic[flowkey.FiveTuple](sketchCfg)
 		for i := range w.Packets {
-			win.Insert(w.Packets[i].Key, 1)
+			sk.Insert(w.Packets[i].Key, 1)
 		}
-		table, err := win.Decode()
+		if err := ring.Seal(uint64(e), sk); err != nil {
+			panic(err)
+		}
+
+		// Query the whole retained window (up to the last 3 epochs) with
+		// the windowed partial-key API — the merge happens inside the
+		// ring, cached across repeat queries.
+		rg := ring.LastN(retain)
+		top, err := ring.Top(rg, srcMask, 1)
 		if err != nil {
 			panic(err)
 		}
-		engine := query.NewEngine(table)
-		top := engine.Top(srcMask, 1)
-		var lead sketch.Entry[flowkey.FiveTuple]
+		var lead string
 		if len(top) > 0 {
-			lead = top[0]
+			lead = fmt.Sprintf("%s (%d)", query.RenderPartial(srcMask, top[0].Key), top[0].Size)
 		}
-		fmt.Printf("epoch %d: window covers %7d packets; top source %v (%d)\n",
-			e, sketch.TotalWeight(table), flowkey.IPv4(lead.Key.SrcIP), lead.Size)
-		win.Rotate()
+		fmt.Printf("epoch %d: window %-6s covers %7d packets; top source %s\n",
+			e, rg, windowMass(ring, rg), lead)
+
+		// Drain any heavy-hitter events this seal fired.
+		for {
+			select {
+			case ev := <-events:
+				fmt.Printf("         event: %s %s holds ≥10%% of epoch %d\n",
+					ev.Kind, query.RenderPartial(srcMask, ev.Flows[0].Key), ev.Epoch)
+				continue
+			default:
+			}
+			break
+		}
 	}
+}
+
+// windowMass sums the windowed table's total weight.
+func windowMass(ring *window.Ring, rg window.Range) uint64 {
+	eng, err := ring.Window(rg)
+	if err != nil {
+		panic(err)
+	}
+	var total uint64
+	for _, v := range eng.FullTable() {
+		total += v
+	}
+	return total
 }

@@ -1,0 +1,23 @@
+package cluster
+
+import (
+	"fmt"
+
+	"cocosketch/internal/netwide"
+)
+
+// SealEpochInto gathers one epoch's shards across every backend, folds
+// them canonically and seals the aggregate into sink — the cluster
+// analogue of netwide.Collector.SealEpochInto, and bit-identical to it
+// when the backends jointly hold the same shard set a single collector
+// would (the chaos suite's invariant). Returns netwide.ErrNoEpoch when
+// no backend holds the epoch.
+func SealEpochInto(sink netwide.EpochSink, epoch uint32, backends ...*netwide.Collector) error {
+	union, ok := GatherEpoch(epoch, backends...)
+	if !ok {
+		return fmt.Errorf("%w (epoch %d)", netwide.ErrNoEpoch, epoch)
+	}
+	// GatherEpoch already deep-copied each shard out of its collector,
+	// so the fold is the sink's to own.
+	return sink.Seal(uint64(epoch), netwide.FoldShards(union))
+}

@@ -144,13 +144,15 @@ func FormatRows(m flowkey.Mask, rows []sketch.Entry[flowkey.FiveTuple], limit in
 		limit = len(rows)
 	}
 	for _, r := range rows[:limit] {
-		fmt.Fprintf(&b, "%-44s %12d\n", renderPartial(m, r.Key), r.Size)
+		fmt.Fprintf(&b, "%-44s %12d\n", RenderPartial(m, r.Key), r.Size)
 	}
 	return b.String()
 }
 
-// renderPartial prints only the fields retained by the mask.
-func renderPartial(m flowkey.Mask, k flowkey.FiveTuple) string {
+// RenderPartial prints only the fields of k retained by the mask — the
+// row-key rendering shared by FormatRows and the JSON query endpoint
+// (internal/window).
+func RenderPartial(m flowkey.Mask, k flowkey.FiveTuple) string {
 	if m.IsFull() {
 		return k.String()
 	}

@@ -215,11 +215,11 @@ func TestTopAndFormat(t *testing.T) {
 
 func TestRenderPartialShowsOnlyMaskedFields(t *testing.T) {
 	m := flowkey.MaskFields(flowkey.FieldDstPort)
-	row := renderPartial(m, ft(1, 2, 3, 4443))
+	row := RenderPartial(m, ft(1, 2, 3, 4443))
 	if row != "dport=4443" {
-		t.Fatalf("renderPartial = %q", row)
+		t.Fatalf("RenderPartial = %q", row)
 	}
-	if got := renderPartial(flowkey.MaskAll(), ft(1, 2, 3, 4)); !strings.Contains(got, "->") {
+	if got := RenderPartial(flowkey.MaskAll(), ft(1, 2, 3, 4)); !strings.Contains(got, "->") {
 		t.Fatalf("full-key render = %q", got)
 	}
 }

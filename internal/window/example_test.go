@@ -1,0 +1,73 @@
+package window_test
+
+// Runnable example for the continuous query-serving tier, asserted in
+// CI via the // Output: comment: seal a few epochs into the ring, ask a
+// windowed partial-key question, and receive a heavy-hitter event from
+// a standing subscription.
+
+import (
+	"fmt"
+
+	"cocosketch/internal/core"
+	"cocosketch/internal/flowkey"
+	"cocosketch/internal/query"
+	"cocosketch/internal/window"
+)
+
+func ExampleRing() {
+	cfg := core.Config{Arrays: 2, BucketsPerArray: 128, Seed: 7}
+	ring := window.NewRing(3, cfg)
+
+	// Standing subscription: tell me when one source holds half an
+	// epoch's bytes.
+	events := make(chan window.Event, 4)
+	srcMask := flowkey.MaskFields(flowkey.FieldSrcIP)
+	ring.Subscribe(window.Subscription{
+		Kind:     window.HeavyHitter,
+		Mask:     srcMask,
+		Fraction: 0.5,
+	}, events)
+
+	flow := func(last byte) flowkey.FiveTuple {
+		return flowkey.FiveTuple{
+			SrcIP:   [4]byte{10, 0, 0, last},
+			DstIP:   [4]byte{192, 168, 0, 1},
+			SrcPort: 4000, DstPort: 53, Proto: 17,
+		}
+	}
+
+	// Three measurement epochs of background traffic (no source holds
+	// half the mass); in the last one source 10.0.0.9 surges.
+	for epoch := uint64(0); epoch < 3; epoch++ {
+		sk := core.NewBasic[flowkey.FiveTuple](cfg)
+		sk.Insert(flow(1), 120)
+		sk.Insert(flow(2), 80)
+		sk.Insert(flow(3), 60)
+		if epoch == 2 {
+			sk.Insert(flow(9), 900)
+		}
+		if err := ring.Seal(epoch, sk); err != nil {
+			fmt.Println("seal:", err)
+			return
+		}
+	}
+
+	// Windowed partial-key query over the last two epochs.
+	top, err := ring.Top(window.Range{From: 1, To: 3}, srcMask, 2)
+	if err != nil {
+		fmt.Println("top:", err)
+		return
+	}
+	for _, e := range top {
+		fmt.Printf("%s bytes=%d\n", query.RenderPartial(srcMask, e.Key), e.Size)
+	}
+
+	ev := <-events
+	fmt.Printf("event: %s at epoch %d, top source %s\n",
+		ev.Kind, ev.Epoch, query.RenderPartial(srcMask, ev.Flows[0].Key))
+
+	// Output:
+	// 10.0.0.9 bytes=900
+	// 10.0.0.1 bytes=240
+	// event: heavy-hitter at epoch 2, top source 10.0.0.9
+}

@@ -1,0 +1,42 @@
+package window_test
+
+// Seeded fuzz target for the window-range parser behind the HTTP query
+// endpoint: ParseRange must never panic, and every spec it accepts must
+// survive a String() round trip unchanged.
+
+import (
+	"testing"
+
+	"cocosketch/internal/window"
+)
+
+func FuzzParseRange(f *testing.F) {
+	for _, seed := range []string{
+		"", "*", "3:7", "3:", ":7", "last:4", "last:1",
+		"0:18446744073709551615", "18446744073709551615:18446744073709551615",
+		"7:3", "3:3", "last:0", "last:-1", "last:", "last:x",
+		"a:b", "3", "3:7:9", "-1:4", "+1:4", " 3:7", "3:7 ",
+		"0x3:7", "3:0x7", "１:２", ":", "::", "last:99999999999999",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		sp, err := window.ParseRange(s)
+		if err != nil {
+			return // rejection is always fine; panicking is not
+		}
+		if sp.LastN < 0 {
+			t.Fatalf("ParseRange(%q) accepted negative LastN %d", s, sp.LastN)
+		}
+		if !sp.Whole && sp.LastN == 0 && sp.Range.From >= sp.Range.To {
+			t.Fatalf("ParseRange(%q) accepted empty range %+v", s, sp.Range)
+		}
+		again, err := window.ParseRange(sp.String())
+		if err != nil {
+			t.Fatalf("ParseRange(%q) accepted, but its String %q does not re-parse: %v", s, sp.String(), err)
+		}
+		if again != sp {
+			t.Fatalf("round trip of %q: %+v != %+v", s, again, sp)
+		}
+	})
+}

@@ -1,0 +1,174 @@
+package window_test
+
+// Unit semantics of the ring itself: seal ordering, compatibility
+// validation, bounds/LastN/resolution arithmetic, eviction accounting
+// and the seal-to-visible telemetry.
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"cocosketch/internal/core"
+	"cocosketch/internal/flowkey"
+	"cocosketch/internal/telemetry"
+	"cocosketch/internal/trace"
+	"cocosketch/internal/window"
+)
+
+func mustSealN(t *testing.T, r *window.Ring, epochs []*core.Basic[flowkey.FiveTuple], n int) {
+	t.Helper()
+	for e := 0; e < n; e++ {
+		if err := r.Seal(uint64(e), epochs[e].Clone()); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestSealRejectsOutOfOrderEpochs(t *testing.T) {
+	r := window.NewRing(4, testConfig)
+	if err := r.Seal(5, core.NewBasic[flowkey.FiveTuple](testConfig)); err != nil {
+		t.Fatal(err)
+	}
+	for _, epoch := range []uint64{5, 4, 0} {
+		if err := r.Seal(epoch, core.NewBasic[flowkey.FiveTuple](testConfig)); !errors.Is(err, window.ErrOrder) {
+			t.Fatalf("Seal(%d) after 5: err = %v, want ErrOrder", epoch, err)
+		}
+	}
+	// Sealing below the eviction floor is ErrOrder too.
+	r2 := window.NewRing(1, testConfig)
+	_ = r2.Seal(1, core.NewBasic[flowkey.FiveTuple](testConfig))
+	_ = r2.Seal(2, core.NewBasic[flowkey.FiveTuple](testConfig)) // evicts 1
+	if err := r2.Seal(1, core.NewBasic[flowkey.FiveTuple](testConfig)); !errors.Is(err, window.ErrOrder) {
+		t.Fatalf("Seal below eviction floor: err = %v, want ErrOrder", err)
+	}
+}
+
+func TestSealRejectsIncompatibleSketch(t *testing.T) {
+	r := window.NewRing(2, testConfig)
+	other := core.Config{Arrays: testConfig.Arrays, BucketsPerArray: testConfig.BucketsPerArray * 2, Seed: testConfig.Seed}
+	if err := r.Seal(0, core.NewBasic[flowkey.FiveTuple](other)); !errors.Is(err, core.ErrIncompatible) {
+		t.Fatalf("Seal with wrong geometry: err = %v, want core.ErrIncompatible", err)
+	}
+	seeded := core.Config{Arrays: testConfig.Arrays, BucketsPerArray: testConfig.BucketsPerArray, Seed: testConfig.Seed + 1}
+	if err := r.Seal(0, core.NewBasic[flowkey.FiveTuple](seeded)); !errors.Is(err, core.ErrIncompatible) {
+		t.Fatalf("Seal with wrong seeds: err = %v, want core.ErrIncompatible", err)
+	}
+}
+
+func TestBoundsLastNAndResolve(t *testing.T) {
+	tr := trace.CAIDALike(6_000, 31)
+	epochs := epochSketches(testConfig, tr, 6)
+	r := window.NewRing(4, testConfig)
+
+	if _, _, ok := r.Bounds(); ok {
+		t.Fatal("Bounds on empty ring should report !ok")
+	}
+	if _, err := r.Window(window.All()); !errors.Is(err, window.ErrEmpty) {
+		t.Fatalf("query on empty ring: err = %v, want ErrEmpty", err)
+	}
+
+	mustSealN(t, r, epochs, 6) // retains 2..5
+	from, to, ok := r.Bounds()
+	if !ok || from != 2 || to != 6 {
+		t.Fatalf("Bounds = [%d, %d) ok=%v, want [2, 6) true", from, to, ok)
+	}
+	if et, ev := r.EvictedThrough(); !ev || et != 1 {
+		t.Fatalf("EvictedThrough = %d, %v; want 1, true", et, ev)
+	}
+	if got := r.LastN(2); got != (window.Range{From: 4, To: 6}) {
+		t.Fatalf("LastN(2) = %v, want [4, 6)", got)
+	}
+	if got := r.LastN(99); got != (window.Range{From: 2, To: 6}) {
+		t.Fatalf("LastN(99) = %v, want the whole retention [2, 6)", got)
+	}
+
+	// Open and oversized ranges canonicalize to the retained span.
+	for _, rg := range []window.Range{{From: 2, To: window.Open}, {From: 2, To: 100}} {
+		f, tt, err := r.Resolve(rg)
+		if err != nil || f != 2 || tt != 6 {
+			t.Fatalf("Resolve(%v) = [%d, %d), %v; want [2, 6), nil", rg, f, tt, err)
+		}
+	}
+	if _, _, err := r.Resolve(window.Range{From: 6, To: 9}); !errors.Is(err, window.ErrEmpty) {
+		t.Fatalf("Resolve past the newest seal: err = %v, want ErrEmpty", err)
+	}
+	if _, _, err := r.Resolve(window.Range{From: 3, To: 3}); !errors.Is(err, window.ErrEmpty) {
+		t.Fatalf("Resolve of empty range: err = %v, want ErrEmpty", err)
+	}
+	if _, _, err := r.Resolve(window.Range{From: 1, To: 4}); !errors.Is(err, window.ErrEvicted) {
+		t.Fatalf("Resolve reaching eviction: err = %v, want ErrEvicted", err)
+	}
+}
+
+func TestRingGapsResolveCanonically(t *testing.T) {
+	// Epochs need not be contiguous (a collector may skip empty
+	// epochs); resolution canonicalizes to the covered seals.
+	r := window.NewRing(4, testConfig)
+	for _, e := range []uint64{3, 7, 11} {
+		if err := r.Seal(e, core.NewBasic[flowkey.FiveTuple](testConfig)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f, tt, err := r.Resolve(window.Range{From: 0, To: 9})
+	if err != nil || f != 3 || tt != 8 {
+		t.Fatalf("Resolve([0,9)) = [%d, %d), %v; want [3, 8), nil", f, tt, err)
+	}
+	if _, _, err := r.Resolve(window.Range{From: 4, To: 7}); !errors.Is(err, window.ErrEmpty) {
+		t.Fatalf("Resolve inside a gap: err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestSealTelemetry(t *testing.T) {
+	reg := telemetry.New()
+	base := time.Unix(1_000_000, 0)
+	tick := 0
+	clock := func() time.Time {
+		tick++
+		return base.Add(time.Duration(tick) * 3 * time.Millisecond)
+	}
+	tr := trace.CAIDALike(6_000, 37)
+	epochs := epochSketches(testConfig, tr, 5)
+	r := window.NewRing(3, testConfig).SetTelemetry(reg).SetClock(clock)
+	mustSealN(t, r, epochs, 5)
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["window.seals"]; got != 5 {
+		t.Fatalf("window.seals = %d, want 5", got)
+	}
+	if got := snap.Counters["window.evictions"]; got != 2 {
+		t.Fatalf("window.evictions = %d, want 2", got)
+	}
+	if got := snap.Gauges["window.epochs_held"]; got != 3 {
+		t.Fatalf("window.epochs_held = %d, want 3", got)
+	}
+	h := snap.Histograms["window.seal_to_visible_ns"]
+	if h.Count() != 5 {
+		t.Fatalf("seal_to_visible observations = %d, want 5", h.Count())
+	}
+	// The deterministic clock advances 3ms per call and Seal reads it
+	// twice, so every observation is exactly 3ms.
+	if h.Quantile(0.5) > uint64(4*time.Millisecond) {
+		t.Fatalf("seal_to_visible p50 = %dns, want ~3ms", h.Quantile(0.5))
+	}
+}
+
+func TestSealedEpochsAreImmutableSnapshots(t *testing.T) {
+	tr := trace.CAIDALike(6_000, 41)
+	epochs := epochSketches(testConfig, tr, 2)
+	r := window.NewRing(2, testConfig)
+	mustSealN(t, r, epochs, 2)
+	sealed := r.Sealed()
+	if len(sealed) != 2 || sealed[0].Epoch != 0 || sealed[1].Epoch != 1 {
+		t.Fatalf("Sealed() = %d epochs, want [0 1]", len(sealed))
+	}
+	if sealed[0].Engine == nil || sealed[0].Table == nil || sealed[0].Sketch == nil {
+		t.Fatal("Sealed epoch missing engine/table/sketch")
+	}
+	// The returned slice is a copy: truncating it must not affect the
+	// ring.
+	_ = append(sealed[:0], sealed[1])
+	if got := r.Sealed(); len(got) != 2 {
+		t.Fatalf("ring lost epochs after caller mutated Sealed() copy: %d", len(got))
+	}
+}
